@@ -1,0 +1,39 @@
+"""Ablation: selective refresh (the paper's Sec. IV-A future work).
+
+The reference design spends 14 fresh bits per S-box (10 product + 4
+select refreshes).  The paper conjectures some can be dropped "while
+maintaining uniformity".  This bench runs the greedy minimal-refresh
+search for every S-box and reports the randomness saved, plus the
+negative control: dropping *all* refreshes breaks uniformity.
+"""
+
+from repro.des.selective_refresh import (
+    greedy_minimal_refresh,
+    refresh_bits_used,
+    uniformity_defect,
+)
+
+
+def _search():
+    return [
+        greedy_minimal_refresh(sbox, n_per_input=1500, seed=11)
+        for sbox in range(8)
+    ]
+
+
+def test_bench_selective_refresh(once):
+    plans = once(_search)
+    print()
+    print("Selective refresh — minimal per-S-box plans "
+          "(paper future work, Sec. IV-A):")
+    for p in plans:
+        print("  " + p.row())
+    total = refresh_bits_used(plans)
+    print(f"  total: {total} bits/round without recycling "
+          f"(reference design: 112; with recycling: 14)")
+    # every S-box admits a strictly smaller refresh set ...
+    assert all(p.bits_used < 14 for p in plans)
+    # ... that still meets the uniformity criterion
+    assert all(p.defect < 3 * p.baseline_defect + 1e-3 for p in plans)
+    # negative control: no refresh at all is badly non-uniform
+    assert uniformity_defect(0, [False] * 14, n_per_input=1500) > 0.1

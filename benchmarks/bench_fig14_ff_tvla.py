@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Fig. 14 (TVLA of the secAND2-FF DES engine).
+
+Reduced budget (the paper uses 50 M traces; the simulator's noise floor
+makes a few thousand sufficient for the same qualitative picture):
+
+* PRNG off  -> first-order leakage detected quickly (panel a);
+* PRNG on   -> no consistent first-order leakage across three fixed
+  plaintexts, pronounced second-order leakage (panels b-d).
+"""
+
+from repro.eval import fig14
+
+
+def test_bench_fig14(once):
+    res = once(
+        fig14.run,
+        n_traces=8_000,
+        n_traces_off=4_000,
+        batch_size=2_000,
+        seed=3,
+    )
+    print()
+    print(res.render())
+    assert res.sanity_ok
+    assert res.prng_off_detected_at <= 4_000
+    assert res.first_order_secure
+    assert res.second_order_present

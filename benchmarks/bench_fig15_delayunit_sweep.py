@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Fig. 15 (DelayUnit size sweep, secAND2-PD).
+
+Sweeps the paper's DelayUnit sizes; first-order leakage must decrease
+with size — pronounced at 1 LUT, absent at 10 — and must track the
+static arrival-order violation count (our mechanistic diagnosis).
+"""
+
+from repro.eval import fig15
+
+
+def test_bench_fig15(once):
+    res = once(
+        fig15.run,
+        sizes=(1, 3, 5, 10),
+        n_traces=6_000,
+        extended_traces=6_000,   # the 5M-trace panel is example-only
+        extended_sizes=(),
+        seed=5,
+    )
+    print()
+    print(res.render())
+    assert res.smallest_is_leaky
+    assert res.largest_is_clean
+    assert res.monotone_trend
+    # static violations decrease monotonically with DelayUnit size
+    viols = [p.static_violations["y1-not-last"] for p in res.points]
+    assert all(b <= a for a, b in zip(viols, viols[1:]))
+    assert viols[0] > 0 and viols[-1] == 0

@@ -1,0 +1,69 @@
+"""Performance benchmarks of the simulation substrate itself.
+
+These use real pytest-benchmark timing loops (unlike the table/figure
+benches, which run once): gadget-bank settling, a masked S-box cycle,
+and the TVLA accumulator — the three inner loops every campaign spends
+its time in.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.gadgets import build_secand2
+from repro.core.shares import share
+from repro.des.masked_core import MaskedSboxModel
+from repro.leakage.tvla import TTestAccumulator
+from repro.sim.power import PowerRecorder
+from repro.sim.vectorsim import VectorSimulator
+
+
+def test_bench_gadget_bank_settle(benchmark):
+    """Event-driven settle of an 8-instance secAND2 bank, 4096 traces."""
+    rng = np.random.default_rng(0)
+    c = build_secand2(n_instances=8)
+    n = 4096
+    x0, x1 = share(rng.integers(0, 2, n).astype(bool), rng)
+    y0, y1 = share(rng.integers(0, 2, n).astype(bool), rng)
+
+    def run():
+        sim = VectorSimulator(c, n)
+        sim.evaluate_combinational(
+            {c.wire(k): False for k in ("x0", "x1", "y0", "y1")}
+        )
+        rec = PowerRecorder(n, 5000, bin_ps=250, weights=sim.weights)
+        sim.settle(
+            [
+                (0, c.wire("y0"), y0),
+                (1000, c.wire("x0"), x0),
+                (1000, c.wire("x1"), x1),
+                (2000, c.wire("y1"), y1),
+            ],
+            recorder=rec,
+        )
+        return rec.power.sum()
+
+    assert benchmark(run) > 0
+
+
+def test_bench_masked_sbox_model(benchmark):
+    """Share-level masked S-box, 8192 evaluations per call."""
+    rng = np.random.default_rng(1)
+    model = MaskedSboxModel(0)
+    n = 8192
+    x0 = rng.integers(0, 2, (6, n)).astype(bool)
+    x1 = rng.integers(0, 2, (6, n)).astype(bool)
+    r = rng.integers(0, 2, (14, n)).astype(bool)
+
+    out = benchmark(model, x0, x1, r)
+    assert out[0].shape == (4, n)
+
+
+def test_bench_tvla_accumulator(benchmark):
+    """Streaming t-test update: 4096 traces x 512 samples."""
+    rng = np.random.default_rng(2)
+    traces = rng.normal(0, 1, (4096, 512)).astype(np.float32)
+    mask = rng.integers(0, 2, 4096).astype(bool)
+    acc = TTestAccumulator(512)
+
+    benchmark(acc.update, traces, mask)
+    assert np.isfinite(acc.t_stats(1)).all()

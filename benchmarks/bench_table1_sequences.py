@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Table I (secAND2 input-sequence leakage).
+
+Runs the fixed-vs-random TVLA test for a representative subset of the
+24 arrival orders (the full sweep is ~6x this work; run
+``examples/reproduce_paper.py table1`` for it) and checks every verdict
+against the paper's rule: a sequence leaks iff an x share arrives last.
+"""
+
+from repro.eval import table1
+
+#: Subset spanning both verdicts and both leaky share positions.
+SEQUENCES = [
+    ("y0", "y1", "x1", "x0"),  # x0 last  -> leaks
+    ("y1", "y0", "x0", "x1"),  # x1 last  -> leaks
+    ("y0", "x0", "y1", "x1"),  # x1 last  -> leaks
+    ("x0", "x1", "y0", "y1"),  # y1 last  -> safe
+    ("x1", "y1", "x0", "y0"),  # y0 last  -> safe
+    ("y1", "x0", "x1", "y0"),  # y0 last  -> safe
+]
+
+
+def test_bench_table1(once):
+    res = once(table1.run, n_traces=20_000, sequences=SEQUENCES, seed=1)
+    print()
+    print(res.render())
+    assert res.all_match_paper
+    assert res.n_leaky == 3

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Table II (product delay schedules) and assess
+the secAND2-PD 3-variable chain across consecutive computations."""
+
+from repro.eval import table2
+
+
+def test_bench_table2(once):
+    res = once(table2.run, n_traces=25_000, seed=2)
+    print()
+    print(res.render())
+    assert res.matches_paper
+    assert res.chain_functional_ok
+    assert res.chain_is_clean

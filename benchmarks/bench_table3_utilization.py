@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Table III (utilisation of both DES engines).
+
+Builds both gate-level engines (masked key schedule included), counts
+GE / FF / LUT, runs static timing, and checks the paper's shape:
+delay-dominated PD area, 14 random bits/round, 7-vs-2 cycles/round,
+and an order-of-magnitude fmax gap.
+"""
+
+from repro.eval import table3
+
+
+def test_bench_table3(once):
+    res = once(table3.run)
+    print()
+    print(res.render())
+    ff, pd = res.measured
+    # randomness and latency columns are exact
+    assert ff.rand_per_round == pd.rand_per_round == 14
+    assert ff.cycles_per_round == 7
+    assert pd.cycles_per_round == 2
+    # area shape: PD total dominated by DelayUnits (paper: 52273 vs
+    # 12592 GE), FF in the paper's GE ballpark
+    assert pd.asic_ge_no_delay < 0.35 * pd.asic_ge
+    assert 0.5 < ff.asic_ge / 15956 < 2.0
+    assert 0.5 < pd.asic_ge / 52273 < 2.0
+    # frequency shape: FF engine is much faster
+    assert ff.max_freq_mhz > 5 * pd.max_freq_mhz

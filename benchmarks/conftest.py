@@ -1,0 +1,22 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper at a
+reduced trace budget (the full-budget campaign lives in
+``examples/reproduce_paper.py``; EXPERIMENTS.md records its output).
+Each bench runs its experiment exactly once (``pedantic`` mode) — the
+interesting output is the regenerated table, stored in
+``benchmark.extra_info`` and printed with ``-s``.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a callable exactly once under the benchmark clock."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return _run

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""CPA key recovery: why the masking matters, in key bits.
+
+Three campaigns against the same secret key:
+
+1. first-order CPA vs the *unprotected* DES netlist — round-1 subkeys
+   fall within a couple thousand simulated traces;
+2. first-order CPA vs the masked secAND2-FF engine — ranks stay at
+   chance level (the first-order security the paper's TVLA certifies);
+3. second-order CPA (centered squares) vs the same masked engine — the
+   parallel shares make the per-sample *variance* key-dependent, and
+   subkeys start falling again, at a multiple of the trace cost.
+
+This is the executable form of the paper's argument that an adversary
+"would likely be better off using a second-order attack", and that its
+cost can be pushed up with noise (Sec. VII-A).
+
+Run:  python examples/cpa_key_recovery.py  (several minutes)
+"""
+
+import time
+
+from repro.attacks import attack_engine
+from repro.des.engines import MaskedDESNetlistEngine
+
+KEY = 0x133457799BBCDFF1
+
+
+def main() -> None:
+    print("=" * 72)
+    print("1. unprotected DES vs first-order CPA")
+    print("=" * 72)
+    t0 = time.time()
+    camp = attack_engine("unprotected", KEY, n_traces=2500, order=1, seed=3)
+    print(camp.render())
+    print(f"[{time.time() - t0:.0f}s]\n")
+
+    engine = MaskedDESNetlistEngine("ff")
+    sboxes = (0, 1, 5, 6)
+
+    print("=" * 72)
+    print("2. masked secAND2-FF DES vs first-order CPA (same budget)")
+    print("=" * 72)
+    t0 = time.time()
+    camp1 = attack_engine(
+        "ff", KEY, n_traces=2500, sboxes=sboxes, order=1, seed=3, engine=engine
+    )
+    print(camp1.render())
+    print(f"[{time.time() - t0:.0f}s]\n")
+
+    print("=" * 72)
+    print("3. masked secAND2-FF DES vs second-order CPA (5x budget)")
+    print("=" * 72)
+    t0 = time.time()
+    camp2 = attack_engine(
+        "ff", KEY, n_traces=12_000, sboxes=sboxes, order=2, seed=4,
+        engine=engine,
+    )
+    print(camp2.render())
+    print(f"[{time.time() - t0:.0f}s]\n")
+
+    print("-" * 72)
+    print(
+        f"unprotected, order 1: {camp.n_recovered}/8 recovered | "
+        f"masked, order 1: {camp1.n_recovered}/{len(sboxes)} "
+        f"(mean rank {camp1.mean_rank:.0f} ~ chance) | "
+        f"masked, order 2: {camp2.n_recovered}/{len(sboxes)} "
+        f"(mean rank {camp2.mean_rank:.0f})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""The paper's gadgets on AES-128 — the community's benchmark cipher.
+
+Trichina's masked AND was proposed for AES SubBytes; DOM and Gross et
+al. both demonstrated on AES.  Here the secAND2 recipe does the same,
+end to end:
+
+1. masked GF(2^8) multiplication: 64 secAND2 bit products + an 8-bit
+   refresh (the Sec. III-C dependent-term rule);
+2. masked inversion by the x^254 addition chain (4 multiplications);
+3. the masked S-box (inversion + share-wise affine), checked against
+   the table for all 256 inputs;
+4. full masked AES-128 (masked key schedule included) against the
+   FIPS-197 vectors;
+5. first-order check: output shares of a *fixed* S-box input are
+   balanced.
+
+Run:  python examples/masked_aes.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.aes import (
+    MaskedAES128,
+    MaskedByte,
+    SBOX,
+    aes128_encrypt,
+    gf_mult,
+    masked_gf_mult,
+    masked_sbox,
+)
+from repro.leakage import RandomnessSource
+
+
+def main() -> None:
+    prng = RandomnessSource(1)
+    rng = np.random.default_rng(0)
+
+    print("=" * 72)
+    print("1. masked GF(2^8) multiplication (64 secAND2 + 8-bit refresh)")
+    print("=" * 72)
+    a = rng.integers(0, 256, 5000).astype(np.uint8)
+    b = rng.integers(0, 256, 5000).astype(np.uint8)
+    mc = masked_gf_mult(MaskedByte.share(a, prng), MaskedByte.share(b, prng), prng)
+    ref = np.array([gf_mult(int(x), int(y)) for x, y in zip(a, b)], dtype=np.uint8)
+    print(f"   5000 random products correct: {np.array_equal(mc.unshare(), ref)}")
+
+    print()
+    print("=" * 72)
+    print("2. masked S-box (x^254 chain, 4 masked mults = 32 fresh bits)")
+    print("=" * 72)
+    vals = np.arange(256, dtype=np.uint8)
+    out = masked_sbox(MaskedByte.share(vals, prng), prng)
+    print(f"   all 256 inputs match the table: "
+          f"{np.array_equal(out.unshare(), np.array(SBOX, dtype=np.uint8))}")
+
+    fixed = masked_sbox(
+        MaskedByte.share(np.full(50_000, 0x42, dtype=np.uint8), prng), prng
+    )
+    bias = max(abs(float(fixed.s0[i].mean()) - 0.5) for i in range(8))
+    print(f"   output share balance for a fixed input: worst bias {bias:.4f}")
+
+    print()
+    print("=" * 72)
+    print("3. full masked AES-128 vs FIPS-197")
+    print("=" * 72)
+    pt = np.frombuffer(
+        bytes.fromhex("00112233445566778899aabbccddeeff"), dtype=np.uint8
+    ).reshape(1, 16)
+    ky = np.frombuffer(
+        bytes.fromhex("000102030405060708090a0b0c0d0e0f"), dtype=np.uint8
+    ).reshape(1, 16)
+    t0 = time.time()
+    ct = MaskedAES128().encrypt(pt, ky, prng)
+    print(f"   ciphertext: {bytes(ct[0]).hex()}")
+    print(f"   expected:   69c4e0d86a7b0430d8cdb78070b4c55a "
+          f"({time.time() - t0:.1f}s)")
+
+    n = 8
+    pts = rng.integers(0, 256, (n, 16)).astype(np.uint8)
+    kys = rng.integers(0, 256, (n, 16)).astype(np.uint8)
+    cts = MaskedAES128().encrypt(pts, kys, prng)
+    ok = all(
+        bytes(cts[i]) == aes128_encrypt(bytes(pts[i]), bytes(kys[i]))
+        for i in range(n)
+    )
+    print(f"   {n} random blocks correct: {ok}")
+    print()
+    print("   cost note: this straightforward mapping spends 256 secAND2")
+    print("   evaluations and 32 fresh bits per S-box — a tower-field")
+    print("   decomposition (as DOM uses) would cut both by ~8x; the")
+    print("   point here is that the paper's gadget composes correctly")
+    print("   on a cipher it was never designed for.")
+
+
+if __name__ == "__main__":
+    main()

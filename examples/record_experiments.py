@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Run the recorded campaign whose output backs EXPERIMENTS.md.
+
+Budgets are the 'scaled defaults' of the experiment modules (large
+enough that every qualitative claim stabilises, small enough to run on
+a laptop core in well under an hour).  Output goes to stdout; redirect
+to a file to archive a run.
+"""
+
+import time
+
+from repro.eval import fig14, fig15, fig17, table1, table2, table3, traces
+from repro.eval.report import rule
+
+
+def main() -> None:
+    t_start = time.time()
+
+    def stamp(name, t0):
+        print(f"[{name}: {time.time() - t0:.0f}s elapsed, "
+              f"{time.time() - t_start:.0f}s total]\n")
+
+    print("#" * 72)
+    print("# Table I — all 24 input sequences, 30k traces each")
+    print("#" * 72)
+    t0 = time.time()
+    print(table1.run(n_traces=30_000).render())
+    stamp("table1", t0)
+
+    print("#" * 72)
+    print("# Table II — delay schedules + 3-var chain, 40k traces")
+    print("#" * 72)
+    t0 = time.time()
+    print(table2.run(n_traces=40_000).render())
+    stamp("table2", t0)
+
+    print("#" * 72)
+    print("# Table III — utilisation")
+    print("#" * 72)
+    t0 = time.time()
+    print(table3.run().render())
+    stamp("table3", t0)
+
+    for name, variant in (("Fig. 13", "ff"), ("Fig. 16", "pd")):
+        print("#" * 72)
+        print(f"# {name} — power trace ({variant})")
+        print("#" * 72)
+        t0 = time.time()
+        print(traces.run(variant, n_traces=128).render())
+        stamp(name, t0)
+
+    print("#" * 72)
+    print("# Fig. 14 — FF engine TVLA (30k x 3 fixed plaintexts + off)")
+    print("#" * 72)
+    t0 = time.time()
+    print(fig14.run(n_traces=30_000, n_traces_off=12_000).render())
+    stamp("fig14", t0)
+
+    print("#" * 72)
+    print("# Fig. 15 — DelayUnit sweep (10k each, 30k at 7 LUTs)")
+    print("#" * 72)
+    t0 = time.time()
+    print(fig15.run(n_traces=10_000, extended_traces=30_000).render())
+    stamp("fig15", t0)
+
+    print("#" * 72)
+    print("# Fig. 17 — PD engine TVLA with coupling (30k x 3 + off)")
+    print("#" * 72)
+    t0 = time.time()
+    print(fig17.run(n_traces=30_000, n_traces_off=12_000).render())
+    stamp("fig17", t0)
+
+    print(rule())
+    print(f"campaign complete in {time.time() - t_start:.0f}s")
+
+
+if __name__ == "__main__":
+    main()

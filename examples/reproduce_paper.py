@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper (scaled budgets).
+
+Usage:
+    python examples/reproduce_paper.py                 # everything
+    python examples/reproduce_paper.py table1 fig14    # a subset
+    python examples/reproduce_paper.py --quick         # smoke budgets
+
+The scaled default budgets take tens of minutes in total; ``--quick``
+finishes in a few minutes.  Paper-vs-measured numbers for a full run are
+recorded in EXPERIMENTS.md.
+"""
+
+import argparse
+import sys
+import time
+
+from repro.eval import fig14, fig15, fig17, table1, table2, table3, traces
+from repro.eval.report import rule
+
+
+def run_table1(quick: bool):
+    return table1.run(n_traces=10_000 if quick else 30_000)
+
+
+def run_table2(quick: bool):
+    return table2.run(n_traces=12_000 if quick else 40_000)
+
+
+def run_table3(quick: bool):
+    return table3.run()
+
+
+def run_fig13(quick: bool):
+    return traces.run("ff", n_traces=16 if quick else 128)
+
+
+def run_fig16(quick: bool):
+    return traces.run("pd", n_traces=16 if quick else 128)
+
+
+def run_fig14(quick: bool):
+    if quick:
+        return fig14.run(n_traces=6_000, n_traces_off=3_000)
+    return fig14.run(n_traces=60_000, n_traces_off=12_000)
+
+
+def run_fig15(quick: bool):
+    if quick:
+        return fig15.run(sizes=(1, 5, 10), n_traces=5_000, extended_sizes=())
+    return fig15.run(n_traces=12_000, extended_traces=60_000)
+
+
+def run_fig17(quick: bool):
+    if quick:
+        return fig17.run(
+            n_traces=8_000, n_traces_off=3_000, coupling_coefficient=5.0
+        )
+    return fig17.run(n_traces=60_000, n_traces_off=12_000)
+
+
+RUNNERS = {
+    "table1": run_table1,
+    "table2": run_table2,
+    "table3": run_table3,
+    "fig13": run_fig13,
+    "fig16": run_fig16,
+    "fig14": run_fig14,
+    "fig15": run_fig15,
+    "fig17": run_fig17,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        choices=[*RUNNERS, []],
+        help="subset to run (default: all)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="reduced smoke budgets"
+    )
+    args = parser.parse_args(argv)
+    selected = args.experiments or list(RUNNERS)
+
+    for name in selected:
+        print()
+        print("#" * 72)
+        print(f"# {name}")
+        print("#" * 72)
+        t0 = time.time()
+        result = RUNNERS[name](args.quick)
+        print(result.render())
+        print(f"[{name}: {time.time() - t0:.0f}s]")
+    print()
+    print(rule())
+    print("done — see EXPERIMENTS.md for the recorded full-budget results")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""repro — reproduction of *Low-Cost First-Order Secure Boolean Masking
+in Glitchy Hardware* (DATE 2023).
+
+Package map
+-----------
+``repro.core``
+    The paper's contribution: secAND2 / secAND2-FF / secAND2-PD masked
+    AND gadgets, baseline gadgets (Trichina, DOM, TI), composition
+    rules (product trees/chains, refresh), and the Table I
+    input-sequence analysis.
+``repro.netlist``
+    Gate-level substrate: cell library, circuit graph, static timing,
+    area/utilisation accounting.
+``repro.sim``
+    Event-driven glitch simulation (scalar and vectorised) and the
+    toggle-count power model with the coupling extension.
+``repro.des``
+    DES substrate: reference cipher, ANF S-box decomposition, masked
+    cores (share-level model and both gate-level engines).
+``repro.leakage``
+    TVLA (orders 1..3), fixed-vs-random acquisition, SNR, PRNG.
+``repro.eval``
+    One module per paper table/figure, regenerating the evaluation.
+``repro.attacks``
+    CPA key recovery (orders 1 and 2) against the engines — the
+    executable form of the paper's security argument.
+"""
+
+from . import aes, attacks, core, des, eval, leakage, netlist, present, sim
+
+__version__ = "1.0.0"
+
+__all__ = ["aes", "attacks", "core", "des", "eval", "leakage", "netlist", "present", "sim", "__version__"]

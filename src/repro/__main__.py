@@ -1,0 +1,68 @@
+"""Command-line entry point: ``python -m repro <experiment...>``.
+
+Runs the paper experiments (same registry as
+``examples/reproduce_paper.py``) or prints the registry.
+
+Examples::
+
+    python -m repro --list
+    python -m repro table3
+    python -m repro table1 fig14 --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .eval import EXPERIMENTS, fig14, fig15, fig17, table1, table2, table3, traces
+from .eval.report import rule
+
+_QUICK_KWARGS = {
+    "table1": dict(
+        n_traces=10_000,
+        sequences=[("y0", "y1", "x1", "x0"), ("x0", "x1", "y0", "y1")],
+    ),
+    "table2": dict(n_traces=12_000),
+    "table3": dict(),
+    "fig13": dict(n_traces=16),
+    "fig16": dict(n_traces=16),
+    "fig14": dict(n_traces=6_000, n_traces_off=3_000),
+    "fig15": dict(sizes=(1, 5, 10), n_traces=5_000, extended_sizes=()),
+    "fig17": dict(n_traces=8_000, n_traces_off=3_000, coupling_coefficient=5.0),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro", description=__doc__
+    )
+    parser.add_argument("experiments", nargs="*", help="experiment ids")
+    parser.add_argument("--list", action="store_true", help="list experiments")
+    parser.add_argument("--quick", action="store_true", help="smoke budgets")
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiments:
+        print("available experiments:")
+        for name in EXPERIMENTS:
+            print(f"  {name}")
+        return 0
+
+    for name in args.experiments:
+        if name not in EXPERIMENTS:
+            print(f"unknown experiment {name!r}; use --list", file=sys.stderr)
+            return 2
+        print(rule())
+        print(f"# {name}")
+        print(rule())
+        t0 = time.time()
+        kwargs = _QUICK_KWARGS[name] if args.quick else {}
+        result = EXPERIMENTS[name](**kwargs)
+        print(result.render())
+        print(f"[{name}: {time.time() - t0:.0f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

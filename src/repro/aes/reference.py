@@ -1,0 +1,135 @@
+"""Reference AES-128 (FIPS-197).
+
+AES is the benchmark every hardware-masking scheme the paper discusses
+was originally built for (Trichina's gadget, DOM, Gross et al.'s
+two-random-bit AES).  The reference model here is the golden oracle for
+the masked AES S-box and cipher built from the paper's gadgets in
+:mod:`repro.aes.masked`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+__all__ = [
+    "SBOX",
+    "_RCON",
+    "INV_SBOX",
+    "xtime",
+    "gf_mult",
+    "gf_inverse",
+    "aes128_encrypt",
+    "expand_key128",
+]
+
+
+def _build_sbox() -> List[int]:
+    # multiplicative inverse + affine transform, built from first
+    # principles so the table itself is testable
+    sbox = [0] * 256
+    for x in range(256):
+        inv = gf_inverse(x)
+        y = inv
+        res = 0
+        for _ in range(5):
+            res ^= y
+            y = ((y << 1) | (y >> 7)) & 0xFF
+        sbox[x] = res ^ 0x63
+    return sbox
+
+
+def xtime(a: int) -> int:
+    """Multiply by x in GF(2^8) mod x^8+x^4+x^3+x+1."""
+    a <<= 1
+    if a & 0x100:
+        a ^= 0x11B
+    return a & 0xFF
+
+
+def gf_mult(a: int, b: int) -> int:
+    """GF(2^8) multiplication."""
+    res = 0
+    while b:
+        if b & 1:
+            res ^= a
+        a = xtime(a)
+        b >>= 1
+    return res
+
+
+def gf_inverse(a: int) -> int:
+    """Multiplicative inverse in GF(2^8); 0 maps to 0 (AES convention)."""
+    if a == 0:
+        return 0
+    # a^254 via square-and-multiply
+    res = 1
+    power = a
+    exp = 254
+    while exp:
+        if exp & 1:
+            res = gf_mult(res, power)
+        power = gf_mult(power, power)
+        exp >>= 1
+    return res
+
+
+SBOX: Sequence[int] = tuple(_build_sbox())
+INV_SBOX: Sequence[int] = tuple(
+    SBOX.index(v) for v in range(256)
+)
+
+_RCON = (0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36)
+
+
+def expand_key128(key: bytes) -> List[List[int]]:
+    """The eleven 16-byte round keys of a 128-bit key."""
+    if len(key) != 16:
+        raise ValueError("AES-128 key must be 16 bytes")
+    words = [list(key[4 * i : 4 * i + 4]) for i in range(4)]
+    for i in range(4, 44):
+        temp = list(words[i - 1])
+        if i % 4 == 0:
+            temp = temp[1:] + temp[:1]
+            temp = [SBOX[b] for b in temp]
+            temp[0] ^= _RCON[i // 4 - 1]
+        words.append([a ^ b for a, b in zip(words[i - 4], temp)])
+    return [
+        [b for w in words[4 * r : 4 * r + 4] for b in w] for r in range(11)
+    ]
+
+
+def _sub_bytes(state: List[int]) -> List[int]:
+    return [SBOX[b] for b in state]
+
+
+def _shift_rows(state: List[int]) -> List[int]:
+    # column-major state: byte (row, col) at index 4*col + row
+    out = [0] * 16
+    for row in range(4):
+        for col in range(4):
+            out[4 * col + row] = state[4 * ((col + row) % 4) + row]
+    return out
+
+
+def _mix_columns(state: List[int]) -> List[int]:
+    out = [0] * 16
+    for col in range(4):
+        a = state[4 * col : 4 * col + 4]
+        out[4 * col + 0] = gf_mult(a[0], 2) ^ gf_mult(a[1], 3) ^ a[2] ^ a[3]
+        out[4 * col + 1] = a[0] ^ gf_mult(a[1], 2) ^ gf_mult(a[2], 3) ^ a[3]
+        out[4 * col + 2] = a[0] ^ a[1] ^ gf_mult(a[2], 2) ^ gf_mult(a[3], 3)
+        out[4 * col + 3] = gf_mult(a[0], 3) ^ a[1] ^ a[2] ^ gf_mult(a[3], 2)
+    return out
+
+
+def aes128_encrypt(plaintext: bytes, key: bytes) -> bytes:
+    """Encrypt one 16-byte block."""
+    if len(plaintext) != 16:
+        raise ValueError("block must be 16 bytes")
+    keys = expand_key128(key)
+    state = [p ^ k for p, k in zip(plaintext, keys[0])]
+    for rnd in range(1, 10):
+        state = _mix_columns(_shift_rows(_sub_bytes(state)))
+        state = [s ^ k for s, k in zip(state, keys[rnd])]
+    state = _shift_rows(_sub_bytes(state))
+    return bytes(s ^ k for s, k in zip(state, keys[10]))

@@ -1,0 +1,157 @@
+"""Correlation power analysis (first- and second-order).
+
+The paper argues its masked cores force the adversary into higher-order
+attacks, whose cost grows exponentially with noise.  This module makes
+that argument executable:
+
+* :func:`first_order_cpa` — classical CPA: Pearson correlation between
+  a per-guess leakage hypothesis and the traces; breaks the
+  *unprotected* engine with a few hundred simulated traces and fails
+  against the masked engines;
+* :func:`second_order_cpa` — univariate second-order CPA with
+  centered-square preprocessing; because the two shares are processed
+  in parallel, the per-sample variance depends on the unshared value,
+  which is exactly what the paper's second-order t-tests detect
+  (|t2| up to 60) and what this attack exploits for key recovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "correlation_matrix",
+    "AttackResult",
+    "first_order_cpa",
+    "second_order_cpa",
+    "true_subkey",
+]
+
+
+def correlation_matrix(traces: np.ndarray, hyps: np.ndarray) -> np.ndarray:
+    """Pearson correlation of every hypothesis row with every sample.
+
+    Args:
+        traces: (n, s) power matrix.
+        hyps: (g, n) hypothesis matrix (one row per key guess).
+
+    Returns:
+        (g, s) correlation coefficients.
+    """
+    t = traces.astype(np.float64)
+    h = hyps.astype(np.float64)
+    tc = t - t.mean(axis=0, keepdims=True)
+    hc = h - h.mean(axis=1, keepdims=True)
+    num = hc @ tc  # (g, s)
+    t_norm = np.sqrt((tc * tc).sum(axis=0))  # (s,)
+    h_norm = np.sqrt((hc * hc).sum(axis=1))  # (g,)
+    denom = np.outer(h_norm, t_norm)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        corr = num / denom
+    return np.where(denom > 0, corr, 0.0)
+
+
+@dataclass
+class AttackResult:
+    """Outcome of a CPA attack on one S-box subkey."""
+
+    sbox: int
+    scores: np.ndarray  # (64,) max |corr| per guess
+    correct_guess: int
+
+    @property
+    def best_guess(self) -> int:
+        return int(np.argmax(self.scores))
+
+    @property
+    def rank_of_correct(self) -> int:
+        """0 = the correct subkey wins."""
+        order = np.argsort(-self.scores)
+        return int(np.where(order == self.correct_guess)[0][0])
+
+    @property
+    def success(self) -> bool:
+        return self.best_guess == self.correct_guess
+
+    def row(self) -> str:
+        return (
+            f"S-box {self.sbox}: best guess {self.best_guess:2d} "
+            f"(true {self.correct_guess:2d}), rank {self.rank_of_correct:2d}, "
+            f"peak |corr| {self.scores[self.best_guess]:.3f} "
+            f"[{'RECOVERED' if self.success else 'resisted'}]"
+        )
+
+
+def true_subkey(key: int, sbox: int) -> int:
+    """The actual 6-bit round-1 subkey chunk for this S-box."""
+    from ..des.keyschedule import round_keys
+
+    k1 = round_keys(key)[0]
+    return (k1 >> (42 - 6 * sbox)) & 0x3F
+
+
+def _attack(
+    traces: np.ndarray,
+    hyps: np.ndarray,
+    sbox: int,
+    key: int,
+    window: Optional[Tuple[int, int]],
+) -> AttackResult:
+    if window is not None:
+        traces = traces[:, window[0] : window[1]]
+    corr = correlation_matrix(traces, hyps)
+    scores = np.max(np.abs(corr), axis=1)
+    return AttackResult(
+        sbox=sbox, scores=scores, correct_guess=true_subkey(key, sbox)
+    )
+
+
+def first_order_cpa(
+    traces: np.ndarray,
+    plaintexts: np.ndarray,
+    key: int,
+    sbox: int,
+    model: Callable[[np.ndarray, int], np.ndarray],
+    window: Optional[Tuple[int, int]] = None,
+) -> AttackResult:
+    """Classical CPA on one S-box subkey.
+
+    Args:
+        traces: (n, s) power matrix.
+        plaintexts: (n,) uint64 plaintexts (known to the attacker).
+        key: The true key (only used to mark the correct guess).
+        sbox: Target S-box 0..7.
+        model: Hypothesis generator, e.g.
+            :func:`repro.attacks.models.register_hd_hypotheses`.
+        window: Optional sample range to restrict the attack to.
+    """
+    hyps = model(plaintexts, sbox)
+    return _attack(traces, hyps, sbox, key, window)
+
+
+def second_order_cpa(
+    traces: np.ndarray,
+    plaintexts: np.ndarray,
+    key: int,
+    sbox: int,
+    model: Callable[[np.ndarray, int], np.ndarray],
+    window: Optional[Tuple[int, int]] = None,
+) -> AttackResult:
+    """Univariate second-order CPA (centered squares).
+
+    Each sample is replaced by its squared deviation from the sample
+    mean; with both shares processed in parallel, the variance of the
+    power at the S-box output sampling instant depends on the unshared
+    output value, so the squared trace correlates with the model.
+    """
+    if window is not None:
+        traces = traces[:, window[0] : window[1]]
+        window = None
+    t = traces.astype(np.float64)
+    centered = t - t.mean(axis=0, keepdims=True)
+    pre = centered * centered
+    hyps = model(plaintexts, sbox)
+    return _attack(pre, hyps, sbox, key, window)

@@ -1,0 +1,101 @@
+"""Leakage models for correlation power analysis on DES.
+
+A CPA attack guesses one 6-bit round-1 subkey chunk at a time (64
+hypotheses per S-box) and predicts, per trace, a value that should
+correlate with the power if the guess is right.  Two classical models:
+
+* **Hamming weight** of the S-box output (combinational switching of
+  the S-box cone),
+* **Hamming distance** of the four R-register bits the S-box drives
+  (the register update ``R0 -> L0 ^ P(Sout)``) — the dominant model for
+  register-based round implementations.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..des.bits import int_to_bitarray, permute_rows
+from ..des.reference import _SBOX_FLAT
+from ..des.tables import E, IP, P
+
+__all__ = [
+    "round1_state",
+    "sbox_output_hypotheses",
+    "register_hd_hypotheses",
+    "hamming_weight4",
+]
+
+_HW4 = np.array([bin(v).count("1") for v in range(16)], dtype=np.float64)
+
+
+def hamming_weight4(values: np.ndarray) -> np.ndarray:
+    """HW of 4-bit values."""
+    return _HW4[values]
+
+
+def round1_state(plaintexts: np.ndarray):
+    """(L0, R0, E(R0)) bit matrices for a batch of plaintexts.
+
+    Args:
+        plaintexts: (n,) uint64 plaintext blocks.
+
+    Returns:
+        ``(l0, r0, er0)`` boolean matrices of shapes (32,n), (32,n),
+        (48,n).
+    """
+    bits = int_to_bitarray(plaintexts.astype(np.uint64), 64)
+    st = permute_rows(bits, IP)
+    l0, r0 = st[:32], st[32:]
+    return l0, r0, permute_rows(r0, E)
+
+
+def _sbox_out_values(
+    er0: np.ndarray, sbox: int, guess: int
+) -> np.ndarray:
+    """(n,) 4-bit S-box outputs of round 1 under a subkey guess."""
+    chunk = er0[6 * sbox : 6 * sbox + 6]
+    idx = np.zeros(chunk.shape[1], dtype=np.int64)
+    for b in range(6):
+        bit = chunk[b] ^ bool((guess >> (5 - b)) & 1)
+        idx = (idx << 1) | bit.astype(np.int64)
+    return _SBOX_FLAT[sbox][idx].astype(np.int64)
+
+
+def sbox_output_hypotheses(
+    plaintexts: np.ndarray, sbox: int
+) -> np.ndarray:
+    """HW(Sbox out) for all 64 subkey guesses: (64, n) float matrix."""
+    _, _, er0 = round1_state(plaintexts)
+    return np.stack(
+        [hamming_weight4(_sbox_out_values(er0, sbox, g)) for g in range(64)]
+    )
+
+
+def register_hd_hypotheses(
+    plaintexts: np.ndarray, sbox: int
+) -> np.ndarray:
+    """HD of the R-register bits driven by this S-box, 64 guesses.
+
+    ``R_new[j] = L0[j] ^ P(Sout)[j]`` against ``R_old[j] = R0[j]`` for
+    the four positions ``j`` with ``P[j]`` inside the S-box's output
+    nibble.
+    """
+    l0, r0, er0 = round1_state(plaintexts)
+    # output bit positions (1-based within the 32-bit f output)
+    out_bits = [4 * sbox + 1 + b for b in range(4)]
+    positions = [j for j in range(32) if P[j] in out_bits]
+    # P[j] maps f-output bit P[j] to R position j
+    hyps = np.zeros((64, plaintexts.shape[0]), dtype=np.float64)
+    for g in range(64):
+        vals = _sbox_out_values(er0, sbox, g)
+        hd = np.zeros(plaintexts.shape[0], dtype=np.float64)
+        for j in positions:
+            # which bit of the nibble is f-output bit P[j]?
+            bit_in_nibble = P[j] - (4 * sbox + 1)  # 0 = MSB
+            f_bit = (vals >> (3 - bit_in_nibble)) & 1
+            hd += (l0[j] ^ r0[j] ^ f_bit.astype(bool)).astype(np.float64)
+        hyps[g] = hd
+    return hyps

@@ -1,0 +1,218 @@
+"""Baseline masked AND gadgets the paper compares against.
+
+* :func:`trichina_and` — Trichina's classical Boolean-masked AND (Eq. 1
+  of the paper): one fresh random bit, secure only under left-to-right
+  evaluation order, glitch-*insecure* in hardware;
+* :func:`dom_indep_and` — Domain-Oriented Masking, independent-input
+  variant (Gross et al.): one fresh random bit and a register layer on
+  the cross-domain terms;
+* :func:`dom_dep_and` — DOM for dependent inputs, which first refreshes
+  one operand: 3 fresh random bits per AND (the variant whose leakage
+  Sasdrich & Hutter assessed, paper ref. [17]);
+* :func:`ti_and3` — the classical 3-share first-order Threshold
+  Implementation of AND (non-complete component functions + register
+  layer, no fresh randomness but three shares).
+
+These give the cost (area / latency / randomness) and behaviour
+reference points used in Table III and the surrounding discussion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..netlist.circuit import Circuit
+from .gadgets import SharePair
+
+__all__ = [
+    "trichina_and",
+    "dom_indep_and",
+    "dom_dep_and",
+    "ti_and3",
+    "ShareTriple",
+    "build_trichina",
+    "build_dom_indep",
+    "GadgetCost",
+    "gadget_costs",
+]
+
+
+@dataclass(frozen=True)
+class ShareTriple:
+    """Wire ids of a 3-share (TI) variable."""
+
+    s0: int
+    s1: int
+    s2: int
+
+    def __iter__(self):
+        return iter((self.s0, self.s1, self.s2))
+
+
+def trichina_and(
+    c: Circuit,
+    x: SharePair,
+    y: SharePair,
+    r: int,
+    tag: str = "trichina",
+    style: str = "gates",
+) -> SharePair:
+    """Trichina AND (Eq. 1): z0 = r ^ x0y0 ^ x0y1 ^ x1y1 ^ x1y0; z1 = r.
+
+    ``style="gates"``: the discrete XOR chain, built strictly
+    left-to-right — the order required for software security, which
+    hardware does not honour.  ``style="lut"``: z0 packed into a single
+    LUT5 (the FPGA mapping), whose atomic output transition exposes the
+    unmasked ``y`` on a late x-share arrival — the problem statement of
+    Sec. II.
+    """
+    if style == "lut":
+        z0 = c.add_gate(
+            "TRICHINA_L", [r, x.s0, x.s1, y.s0, y.s1], name=f"{tag}_z0"
+        )
+        z1 = c.buf(r, name=f"{tag}_z1")
+        return SharePair(z0, z1)
+    t00 = c.and2(x.s0, y.s0, name=f"{tag}_a00")
+    t01 = c.and2(x.s0, y.s1, name=f"{tag}_a01")
+    t11 = c.and2(x.s1, y.s1, name=f"{tag}_a11")
+    t10 = c.and2(x.s1, y.s0, name=f"{tag}_a10")
+    acc = c.xor2(r, t00, name=f"{tag}_x0")
+    acc = c.xor2(acc, t01, name=f"{tag}_x1")
+    acc = c.xor2(acc, t11, name=f"{tag}_x2")
+    z0 = c.xor2(acc, t10, name=f"{tag}_x3")
+    z1 = c.buf(r, name=f"{tag}_z1")
+    return SharePair(z0, z1)
+
+
+def dom_indep_and(
+    c: Circuit, x: SharePair, y: SharePair, r: int, tag: str = "domi"
+) -> SharePair:
+    """DOM-indep AND: cross-domain terms remasked and registered.
+
+        z0 = x0.y0 ^ FF(x0.y1 ^ r)
+        z1 = x1.y1 ^ FF(x1.y0 ^ r)
+
+    One fresh random bit per AND; one register stage of latency.  The
+    register layer stops glitch propagation across share domains, which
+    is what buys provable first-order security (at the cost the paper
+    wants to avoid).
+    """
+    inner0 = c.and2(x.s0, y.s0, name=f"{tag}_a00")
+    inner1 = c.and2(x.s1, y.s1, name=f"{tag}_a11")
+    cross0 = c.xor2(c.and2(x.s0, y.s1, name=f"{tag}_a01"), r, name=f"{tag}_m0")
+    cross1 = c.xor2(c.and2(x.s1, y.s0, name=f"{tag}_a10"), r, name=f"{tag}_m1")
+    cross0_q = c.dff(cross0, name=f"{tag}_ff0")
+    cross1_q = c.dff(cross1, name=f"{tag}_ff1")
+    z0 = c.xor2(inner0, cross0_q, name=f"{tag}_z0")
+    z1 = c.xor2(inner1, cross1_q, name=f"{tag}_z1")
+    return SharePair(z0, z1)
+
+
+def dom_dep_and(
+    c: Circuit,
+    x: SharePair,
+    y: SharePair,
+    r: Tuple[int, int, int],
+    tag: str = "domd",
+) -> SharePair:
+    """DOM-dep AND: refresh one operand, then DOM-indep.
+
+    For operands that are not statistically independent, DOM first
+    re-shares ``y`` with two fresh bits (register-separated), then runs
+    DOM-indep with a third.  Total 3 random bits per AND — the
+    "528 bits per round" row of Table III comes from this cost.
+    """
+    r0, r1, r2 = r
+    # re-mask each operand (same fresh bit on both shares preserves the
+    # sharing); registers stop glitches from recombining the masks
+    y_ref = SharePair(
+        c.dff(c.xor2(y.s0, r0, name=f"{tag}_ry0"), name=f"{tag}_ffy0"),
+        c.dff(c.xor2(y.s1, r0, name=f"{tag}_ry1"), name=f"{tag}_ffy1"),
+    )
+    x_ref = SharePair(
+        c.dff(c.xor2(x.s0, r1, name=f"{tag}_rx0"), name=f"{tag}_ffx0"),
+        c.dff(c.xor2(x.s1, r1, name=f"{tag}_rx1"), name=f"{tag}_ffx1"),
+    )
+    return dom_indep_and(c, x_ref, y_ref, r2, tag=f"{tag}_core")
+
+
+def ti_and3(
+    c: Circuit, x: ShareTriple, y: ShareTriple, tag: str = "ti"
+) -> ShareTriple:
+    """3-share first-order TI of AND (non-complete + registered).
+
+        z0 = x1y1 ^ x1y2 ^ x2y1
+        z1 = x2y2 ^ x2y0 ^ x0y2
+        z2 = x0y0 ^ x0y1 ^ x1y0
+
+    Each component omits one input share index (non-completeness), so
+    glitches within a component cannot combine all shares; a register
+    layer isolates the next stage.  No fresh randomness, but three
+    shares of everything — the area cost TI pays.
+    """
+    xs = list(x)
+    ys = list(y)
+    outs: List[int] = []
+    for i in range(3):
+        a, b = (i + 1) % 3, (i + 2) % 3
+        t0 = c.and2(xs[a], ys[a], name=f"{tag}_z{i}a")
+        t1 = c.and2(xs[a], ys[b], name=f"{tag}_z{i}b")
+        t2 = c.and2(xs[b], ys[a], name=f"{tag}_z{i}c")
+        z = c.xor2(c.xor2(t0, t1, name=f"{tag}_z{i}x0"), t2, name=f"{tag}_z{i}x1")
+        outs.append(c.dff(z, name=f"{tag}_z{i}ff"))
+    return ShareTriple(*outs)
+
+
+# ----------------------------------------------------------------------
+def build_trichina(style: str = "gates") -> Circuit:
+    """Standalone Trichina AND circuit (for leakage comparison)."""
+    c = Circuit("trichina-AND")
+    x0, x1, y0, y1, r = c.add_inputs("x0", "x1", "y0", "y1", "r")
+    z = trichina_and(c, SharePair(x0, x1), SharePair(y0, y1), r, style=style)
+    c.mark_output("z0", z.s0)
+    c.mark_output("z1", z.s1)
+    c.check()
+    return c
+
+
+def build_dom_indep() -> Circuit:
+    """Standalone DOM-indep AND circuit."""
+    c = Circuit("DOM-indep-AND")
+    x0, x1, y0, y1, r = c.add_inputs("x0", "x1", "y0", "y1", "r")
+    z = dom_indep_and(c, SharePair(x0, x1), SharePair(y0, y1), r)
+    c.mark_output("z0", z.s0)
+    c.mark_output("z1", z.s1)
+    c.check()
+    return c
+
+
+@dataclass(frozen=True)
+class GadgetCost:
+    """Cost summary of one masked-AND gadget."""
+
+    name: str
+    area_ge: float
+    n_ff: int
+    random_bits: int
+    latency_cycles: int
+
+
+def gadget_costs() -> List[GadgetCost]:
+    """Cost table of all masked-AND gadgets (paper Sec. II discussion)."""
+    from ..netlist.area import area_ge
+    from .gadgets import build_secand2, build_secand2_ff, build_secand2_pd
+
+    rows = []
+    for name, circ, rnd, lat in [
+        ("secAND2", build_secand2(), 0, 1),
+        ("secAND2-FF", build_secand2_ff(), 0, 2),
+        ("secAND2-PD", build_secand2_pd(), 0, 1),
+        ("Trichina", build_trichina(), 1, 1),
+        ("DOM-indep", build_dom_indep(), 1, 2),
+    ]:
+        n_ff = sum(1 for g in circ.gates if g.is_ff)
+        rows.append(GadgetCost(name, area_ge(circ), n_ff, rnd, lat))
+    return rows

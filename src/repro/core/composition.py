@@ -1,0 +1,214 @@
+"""Composition guidelines of Sec. III as reusable circuit builders.
+
+* products of n independently-shared variables:
+
+  - :func:`product_tree_ff` — Fig. 4: a balanced tree of secAND2-FF
+    gadgets whose internal FFs are enabled layer by layer
+    (``log2(n)`` layers, latency ``log2(n) + 1`` cycles);
+  - :func:`product_chain_pd` — Fig. 6: a chain of secAND2-PD gadgets
+    with the staggered input schedule of Table II
+    (single-cycle evaluation);
+
+* :func:`pd_delay_schedule` — the generalised Table II schedule for a
+  product of n variables;
+* :func:`refresh` re-export and :func:`secure_f_xy` — Fig. 7's
+  ``f = x ^ y ^ x.y`` with the mandatory refresh of the dependent
+  product term before the XOR plane (Sec. III-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..netlist.cells import DELAY_UNIT_DEFAULT_LUTS
+from ..netlist.circuit import Circuit
+from .gadgets import SharePair, masked_xor, refresh, secand2, secand2_ff
+
+__all__ = [
+    "ProductTree",
+    "product_tree_ff",
+    "pd_delay_schedule",
+    "product_chain_pd",
+    "secure_f_xy",
+    "insecure_f_xy",
+    "tree_latency_cycles",
+]
+
+
+@dataclass(frozen=True)
+class ProductTree:
+    """Result of :func:`product_tree_ff`.
+
+    Attributes:
+        output: Shares of the product.
+        layer_enables: One enable wire per tree layer; the FSM must
+            raise them one per cycle, first layer first (Fig. 4: FF1/FF2
+            in cycle 2, FF3 in cycle 3).
+        n_gadgets: secAND2-FF instances used (= n - 1).
+        latency_cycles: log2(n) + 1 as per Sec. III-A.
+    """
+
+    output: SharePair
+    layer_enables: Tuple[int, ...]
+    n_gadgets: int
+    latency_cycles: int
+
+
+def tree_latency_cycles(n: int) -> int:
+    """Latency of an n-input secAND2-FF product tree: log2(n) + 1."""
+    if n < 2:
+        raise ValueError("a product needs at least two variables")
+    layers = (n - 1).bit_length()
+    return layers + 1
+
+
+def product_tree_ff(
+    c: Circuit,
+    operands: Sequence[SharePair],
+    tag: str = "ptree",
+) -> ProductTree:
+    """Product of n independently shared variables with secAND2-FF (Fig. 4).
+
+    Builds a balanced tree of ``n - 1`` gadgets in ``ceil(log2 n)``
+    layers.  Each layer gets its own enable wire (added as a primary
+    input ``<tag>_en<layer>``) controlling all internal FFs of that
+    layer, so the caller's FSM can activate layers on consecutive
+    cycles — the construction of Sec. III-A that needs **no external
+    registers**.
+    """
+    n = len(operands)
+    if n < 2:
+        raise ValueError("a product needs at least two variables")
+    enables: List[int] = []
+    level: List[SharePair] = list(operands)
+    layer = 0
+    n_gadgets = 0
+    while len(level) > 1:
+        en = c.add_input(f"{tag}_en{layer}")
+        enables.append(en)
+        nxt: List[SharePair] = []
+        for i in range(0, len(level) - 1, 2):
+            z = secand2_ff(
+                c,
+                level[i],
+                level[i + 1],
+                enable=en,
+                tag=f"{tag}_l{layer}g{i // 2}",
+            )
+            n_gadgets += 1
+            nxt.append(z)
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+        layer += 1
+    return ProductTree(
+        output=level[0],
+        layer_enables=tuple(enables),
+        n_gadgets=n_gadgets,
+        latency_cycles=layer + 1,
+    )
+
+
+def pd_delay_schedule(n: int) -> Dict[Tuple[int, int], int]:
+    """Table II generalised: DelayUnits for each share of an n-product.
+
+    Variables are indexed ``0 .. n-1`` for ``z = v0 . v1 . ... . v(n-1)``
+    (``v0 = a`` innermost).  Returns ``{(var, share): units}``:
+
+    * share 0 of the *outermost* variable arrives first (0 units) to
+      protect the previous computation,
+    * both shares of ``v0`` arrive together in the middle,
+    * share 1 of the outermost variable arrives last to protect the
+      current computation.
+
+    For n=3 this is exactly Table II's
+    ``c0 -> b0 -> a0,a1 -> b1 -> c1`` (0,1,2,3,4 units) and for n=4
+    ``d0 -> c0 -> b0 -> a0,a1 -> b1 -> c1 -> d1`` (0..6 units).
+    """
+    if n < 2:
+        raise ValueError("a product needs at least two variables")
+    sched: Dict[Tuple[int, int], int] = {}
+    sched[(0, 0)] = n - 1
+    sched[(0, 1)] = n - 1
+    for i in range(1, n):
+        sched[(i, 0)] = n - 1 - i
+        sched[(i, 1)] = n - 1 + i
+    return sched
+
+
+def product_chain_pd(
+    c: Circuit,
+    operands: Sequence[SharePair],
+    n_luts: int = DELAY_UNIT_DEFAULT_LUTS,
+    tag: str = "pchain",
+) -> SharePair:
+    """Product of n variables with secAND2-PD in a chain (Fig. 6).
+
+    Delays are applied to the *primary inputs only* (Sec. III-B: it is
+    easy to enforce delays on register outputs, hard on gadget
+    outputs); intermediate products feed the next gadget undelayed as
+    its ``x`` operand, while each new variable enters as the ``y``
+    operand whose shares bracket the computation.
+
+    The whole product evaluates in a single clock cycle.  The paper
+    validated products of up to three variables in one cycle on FPGA;
+    the construction itself generalises (Sec. III-B).
+    """
+    n = len(operands)
+    sched = pd_delay_schedule(n)
+    delayed: List[SharePair] = []
+    for i, op in enumerate(operands):
+        d0 = c.delay_line(op.s0, sched[(i, 0)], n_luts, name=f"{tag}_v{i}s0")
+        d1 = c.delay_line(op.s1, sched[(i, 1)], n_luts, name=f"{tag}_v{i}s1")
+        delayed.append(SharePair(d0, d1))
+    acc = delayed[0]
+    for i in range(1, n):
+        # x = running product (undelayed gadget output), y = v_i whose
+        # share 0 arrived before and share 1 arrives after acc's inputs.
+        acc = secand2(c, acc, delayed[i], tag=f"{tag}_g{i - 1}")
+    return acc
+
+
+def secure_f_xy(mask_input: str = "m") -> Circuit:
+    """Fig. 7: ``f = x ^ y ^ x.y`` computed *securely*.
+
+    The product ``z = x.y`` from secAND2 is not independent of ``x`` and
+    ``y``; its shares are refreshed with one fresh bit ``m`` before the
+    XOR plane so the masked inputs of the XOR have a data-independent
+    distribution (Sec. III-C).
+    """
+    c = Circuit("f=x^y^xy-secure")
+    x0, x1, y0, y1 = c.add_inputs("x0", "x1", "y0", "y1")
+    m = c.add_input(mask_input)
+    x = SharePair(x0, x1)
+    y = SharePair(y0, y1)
+    z = secand2(c, x, y, tag="and")
+    z_ref = refresh(c, z, m, tag="ref")
+    t = masked_xor(c, x, y, tag="xy")
+    f = masked_xor(c, t, z_ref, tag="out")
+    c.mark_output("f0", f.s0)
+    c.mark_output("f1", f.s1)
+    c.check()
+    return c
+
+
+def insecure_f_xy() -> Circuit:
+    """Fig. 7's function *without* the refresh (for negative tests).
+
+    XOR-ing the dependent product term directly onto x ^ y produces a
+    data-dependent masked distribution — the failure mode Sec. III-C
+    warns about.  Used by tests and the composition example to show the
+    refresh is load-bearing.
+    """
+    c = Circuit("f=x^y^xy-insecure")
+    x0, x1, y0, y1 = c.add_inputs("x0", "x1", "y0", "y1")
+    x = SharePair(x0, x1)
+    y = SharePair(y0, y1)
+    z = secand2(c, x, y, tag="and")
+    t = masked_xor(c, x, y, tag="xy")
+    f = masked_xor(c, t, z, tag="out")
+    c.mark_output("f0", f.s0)
+    c.mark_output("f1", f.s1)
+    c.check()
+    return c

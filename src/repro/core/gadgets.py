@@ -1,0 +1,295 @@
+"""The paper's masked gadgets as netlist builders.
+
+Three flavours of the low-cost masked AND (Sec. II):
+
+* :func:`secand2` — the raw combinational gadget of Fig. 1 (Eq. 2),
+  *insecure on its own* in glitchy hardware (the paper verified that
+  programming the equations directly into LUTs leaks);
+* :func:`secand2_ff` — Fig. 2: an internal flip-flop delays ``y1`` so it
+  arrives a cycle later; two cycles per multiplication, needs reset
+  between evaluations (Sec. II-C);
+* :func:`secand2_pd` — Fig. 3: LUT-chain path delays stagger the inputs
+  ``y0 -> x0,x1 -> y1``; one cycle per multiplication, no reset needed
+  (Sec. II-D).
+
+plus the trivially share-wise :func:`masked_xor` and the 1-bit
+:func:`refresh` gadget (Sec. III-C, Fig. 7).
+
+All builders append gates into a caller-supplied :class:`Circuit` and
+return the output wires, so gadgets compose into larger circuits; the
+``build_*`` helpers wrap a single gadget into a standalone circuit for
+gadget-level experiments.
+
+Algebraic reference models (``*_func``) are provided for functional
+verification: the netlists must match them bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..netlist.cells import DELAY_UNIT_DEFAULT_LUTS
+from ..netlist.circuit import Circuit
+
+__all__ = [
+    "SharePair",
+    "secand2_core_on_wires",
+    "secand2",
+    "secand2_ff",
+    "secand2_pd",
+    "masked_xor",
+    "masked_not",
+    "refresh",
+    "build_secand2",
+    "build_secand2_ff",
+    "build_secand2_pd",
+    "secand2_func",
+    "trichina_func",
+    "PD_DELAY_UNITS",
+]
+
+#: DelayUnits applied to each secAND2-PD input (Fig. 3): y0 undelayed,
+#: x0/x1 one unit, y1 two units.
+PD_DELAY_UNITS = {"y0": 0, "x0": 1, "x1": 1, "y1": 2}
+
+
+@dataclass(frozen=True)
+class SharePair:
+    """Wire ids of the two shares of one masked variable."""
+
+    s0: int
+    s1: int
+
+    def __iter__(self):
+        return iter((self.s0, self.s1))
+
+
+def secand2_core_on_wires(
+    c: Circuit,
+    x0: int,
+    x1: int,
+    y0: int,
+    y1: int,
+    tag: str,
+    style: str = "lut",
+) -> SharePair:
+    """The secAND2 combinational core on already-prepared share wires.
+
+    Two styles:
+
+    * ``"lut"`` (default): each output share is one SECAND2L compound
+      cell — the FPGA mapping the paper uses ("programming the
+      equations for the outputs of secAND2 directly into LUTs").  The
+      output transitions atomically, with the Hamming distance of the
+      full Eq. 2 expression: that is the switching behaviour all
+      leakage arguments of Sec. II-B rest on.
+    * ``"gates"``: the discrete Fig. 1 netlist
+      (1 INV + 2 AND2 + 2 OR2 + 2 XOR2) for ASIC-style analysis.
+
+    The core registers a ``secand2`` annotation so the static
+    arrival-order checker can audit it.
+    """
+    c.annotations.setdefault("secand2", []).append(
+        {"tag": tag, "x0": x0, "x1": x1, "y0": y0, "y1": y1}
+    )
+    if style == "lut":
+        z0 = c.add_gate("SECAND2L", [x0, y0, y1], name=f"{tag}_z0")
+        z1 = c.add_gate("SECAND2L", [x1, y0, y1], name=f"{tag}_z1")
+        return SharePair(z0, z1)
+    if style == "gates":
+        ny1 = c.inv(y1, name=f"{tag}_inv_y1")
+        a0 = c.and2(x0, y0, name=f"{tag}_and0")
+        o0 = c.or2(x0, ny1, name=f"{tag}_or0")
+        z0 = c.xor2(a0, o0, name=f"{tag}_xor0")
+        a1 = c.and2(x1, y0, name=f"{tag}_and1")
+        o1 = c.or2(x1, ny1, name=f"{tag}_or1")
+        z1 = c.xor2(a1, o1, name=f"{tag}_xor1")
+        return SharePair(z0, z1)
+    raise ValueError("style must be 'lut' or 'gates'")
+
+
+def _secand2_core(
+    c: Circuit, x0: int, x1: int, y0: int, y1: int, tag: str, style: str = "lut"
+) -> SharePair:
+    return secand2_core_on_wires(c, x0, x1, y0, y1, tag, style)
+
+
+def secand2(
+    c: Circuit,
+    x: SharePair,
+    y: SharePair,
+    tag: str = "secand2",
+    style: str = "lut",
+) -> SharePair:
+    """Raw combinational secAND2 (Fig. 1 / Eq. 2).
+
+    Computes ``z = x AND y`` over shares with **no fresh randomness**:
+
+        z0 = (x0.y0) XOR (x0 + !y1)
+        z1 = (x1.y0) XOR (x1 + !y1)
+
+    Security depends entirely on the arrival order of the inputs (only
+    sequences where ``y0`` or ``y1`` arrives last are safe — Table I);
+    use :func:`secand2_ff` or :func:`secand2_pd` unless the caller
+    controls arrival times externally (e.g. via input registers,
+    Fig. 5).
+    """
+    return _secand2_core(c, x.s0, x.s1, y.s0, y.s1, tag, style)
+
+
+def secand2_ff(
+    c: Circuit,
+    x: SharePair,
+    y: SharePair,
+    enable: Optional[int] = None,
+    tag: str = "secand2ff",
+    reset_group: str = "gadget",
+    style: str = "lut",
+) -> SharePair:
+    """secAND2 with internal flip-flop on ``y1`` (Fig. 2).
+
+    The FF guarantees ``y1`` arrives one cycle after the other operands,
+    which is a safe sequence (Table I).  With ``enable`` (Fig. 4's
+    FSM-controlled sampling) the FF samples only when the enable wire is
+    high, so cascaded gadgets can be activated layer by layer.
+
+    Latency: 2 cycles per multiplication.  The gadget must be **reset
+    between successive computations** (Sec. II-C) — the harness does
+    this with a synchronous FF reset cycle.
+    """
+    if enable is None:
+        y1_del = c.dff(y.s1, name=f"{tag}_ff_y1", reset_group=reset_group)
+    else:
+        y1_del = c.dffe(y.s1, enable, name=f"{tag}_ff_y1", reset_group=reset_group)
+    return _secand2_core(c, x.s0, x.s1, y.s0, y1_del, tag, style)
+
+
+def secand2_pd(
+    c: Circuit,
+    x: SharePair,
+    y: SharePair,
+    n_luts: int = DELAY_UNIT_DEFAULT_LUTS,
+    tag: str = "secand2pd",
+    delay_units: Optional[dict] = None,
+    style: str = "lut",
+) -> SharePair:
+    """secAND2 with path-delayed inputs (Fig. 3).
+
+    Inputs are staggered by chained-LUT DelayUnits:
+    ``y0`` first (0 units), then ``x0``/``x1`` (1 unit), finally ``y1``
+    (2 units).  ``y0`` arriving first protects the *previous*
+    computation; ``y1`` arriving last protects the *current* one
+    (Sec. II-D), so no reset is needed and a multiplication completes in
+    a single cycle.
+
+    Args:
+        n_luts: LUTs per DelayUnit (the paper found 10 optimal on
+            Spartan-6; Sec. VII-B sweeps 1..10).
+        delay_units: Override of DelayUnits per input
+            (default :data:`PD_DELAY_UNITS`); composition uses this for
+            chain schedules (Table II).
+    """
+    du = dict(PD_DELAY_UNITS if delay_units is None else delay_units)
+    x0d = c.delay_line(x.s0, du["x0"], n_luts, name=f"{tag}_dl_x0")
+    x1d = c.delay_line(x.s1, du["x1"], n_luts, name=f"{tag}_dl_x1")
+    y0d = c.delay_line(y.s0, du["y0"], n_luts, name=f"{tag}_dl_y0")
+    y1d = c.delay_line(y.s1, du["y1"], n_luts, name=f"{tag}_dl_y1")
+    return _secand2_core(c, x0d, x1d, y0d, y1d, tag, style)
+
+
+def masked_xor(
+    c: Circuit, x: SharePair, y: SharePair, tag: str = "mxor"
+) -> SharePair:
+    """Share-wise masked XOR: z_i = x_i ^ y_i (trivially secure)."""
+    z0 = c.xor2(x.s0, y.s0, name=f"{tag}_x0")
+    z1 = c.xor2(x.s1, y.s1, name=f"{tag}_x1")
+    return SharePair(z0, z1)
+
+
+def masked_not(c: Circuit, x: SharePair, tag: str = "mnot") -> SharePair:
+    """Masked NOT: invert one share only."""
+    return SharePair(c.inv(x.s0, name=f"{tag}_inv"), x.s1)
+
+
+def refresh(c: Circuit, x: SharePair, mask: int, tag: str = "refresh") -> SharePair:
+    """Re-mask a share pair with one fresh random bit (Sec. III-C).
+
+    Because secAND2 consumes no randomness, its output is *not*
+    independent of its inputs; before XOR-ing dependent terms the
+    shares must be refreshed: z_i' = z_i ^ m.
+    """
+    z0 = c.xor2(x.s0, mask, name=f"{tag}_m0")
+    z1 = c.xor2(x.s1, mask, name=f"{tag}_m1")
+    return SharePair(z0, z1)
+
+
+# ----------------------------------------------------------------------
+# standalone circuits for gadget-level experiments
+# ----------------------------------------------------------------------
+def _with_inputs(name: str) -> Tuple[Circuit, SharePair, SharePair]:
+    c = Circuit(name)
+    x0, x1, y0, y1 = c.add_inputs("x0", "x1", "y0", "y1")
+    return c, SharePair(x0, x1), SharePair(y0, y1)
+
+
+def build_secand2(n_instances: int = 1, style: str = "lut") -> Circuit:
+    """Standalone combinational secAND2 bank (shared inputs).
+
+    ``n_instances`` parallel copies receive identical inputs, mirroring
+    the paper's SNR-boosting replication in the Sec. II-B experiments.
+    """
+    c, x, y = _with_inputs("secAND2")
+    for i in range(n_instances):
+        z = secand2(c, x, y, tag=f"i{i}", style=style)
+        c.mark_output(f"z0_{i}", z.s0)
+        c.mark_output(f"z1_{i}", z.s1)
+    c.check()
+    return c
+
+
+def build_secand2_ff(enable: bool = False) -> Circuit:
+    """Standalone secAND2-FF (optionally with an enable input)."""
+    c, x, y = _with_inputs("secAND2-FF")
+    en = c.add_input("en") if enable else None
+    z = secand2_ff(c, x, y, enable=en)
+    c.mark_output("z0", z.s0)
+    c.mark_output("z1", z.s1)
+    c.check()
+    return c
+
+
+def build_secand2_pd(n_luts: int = DELAY_UNIT_DEFAULT_LUTS) -> Circuit:
+    """Standalone secAND2-PD with the Fig. 3 delay schedule."""
+    c, x, y = _with_inputs("secAND2-PD")
+    z = secand2_pd(c, x, y, n_luts=n_luts)
+    c.mark_output("z0", z.s0)
+    c.mark_output("z1", z.s1)
+    c.check()
+    return c
+
+
+# ----------------------------------------------------------------------
+# algebraic reference models
+# ----------------------------------------------------------------------
+def secand2_func(
+    x0: np.ndarray, x1: np.ndarray, y0: np.ndarray, y1: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Eq. 2 evaluated directly (software-order, glitch-free)."""
+    z0 = (x0 & y0) ^ (x0 | ~y1)
+    z1 = (x1 & y0) ^ (x1 | ~y1)
+    return z0, z1
+
+
+def trichina_func(
+    x0: np.ndarray,
+    x1: np.ndarray,
+    y0: np.ndarray,
+    y1: np.ndarray,
+    r: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Trichina's masked AND (Eq. 1), left-to-right evaluation."""
+    z0 = ((((r ^ (x0 & y0)) ^ (x0 & y1)) ^ (x1 & y1)) ^ (x1 & y0))
+    return z0, r

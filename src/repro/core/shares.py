@@ -1,0 +1,109 @@
+"""First-order Boolean share algebra.
+
+Every sensitive bit ``x`` is split as ``x = x0 XOR x1`` with ``x0``
+uniform (Sec. I).  This module provides vectorised sharing/unsharing
+over numpy boolean arrays plus uniformity diagnostics used by the
+composition tests (the secAND2 output is *not* independent of its
+inputs — Sec. III-C — and the tests must be able to demonstrate that).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "share",
+    "unshare",
+    "share_many",
+    "random_bits",
+    "joint_distribution",
+    "is_uniform_sharing",
+    "shares_independent_of",
+]
+
+
+def random_bits(rng: np.random.Generator, n: int) -> np.ndarray:
+    """n uniform random bits as a boolean array."""
+    return rng.integers(0, 2, size=n, dtype=np.uint8).astype(bool)
+
+
+def share(
+    values: "np.ndarray | bool | int", rng: np.random.Generator, n: int = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Split ``values`` into two shares with a uniform mask.
+
+    Args:
+        values: Boolean array of unshared bits, or a scalar (then ``n``
+            gives the number of traces to broadcast to).
+        rng: Randomness source for the masks.
+        n: Trace count when ``values`` is scalar.
+
+    Returns:
+        ``(s0, s1)`` with ``s0`` uniform and ``s0 ^ s1 == values``.
+    """
+    if not isinstance(values, np.ndarray):
+        if n is None:
+            raise ValueError("scalar values require n")
+        values = np.full(n, bool(values))
+    s0 = random_bits(rng, values.shape[0])
+    s1 = s0 ^ values.astype(bool)
+    return s0, s1
+
+
+def unshare(s0: np.ndarray, s1: np.ndarray) -> np.ndarray:
+    """Recombine two shares."""
+    return s0 ^ s1
+
+
+def share_many(
+    values: Sequence["np.ndarray | bool | int"],
+    rng: np.random.Generator,
+    n: int = None,
+) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """Independently share several variables (fresh mask per variable)."""
+    return [share(v, rng, n) for v in values]
+
+
+def joint_distribution(bits: Sequence[np.ndarray]) -> np.ndarray:
+    """Empirical joint distribution of k boolean arrays.
+
+    Returns:
+        Length-``2**k`` array of probabilities, indexed by the integer
+        formed with ``bits[0]`` as MSB.
+    """
+    k = len(bits)
+    idx = np.zeros(bits[0].shape[0], dtype=np.int64)
+    for b in bits:
+        idx = (idx << 1) | b.astype(np.int64)
+    counts = np.bincount(idx, minlength=1 << k).astype(float)
+    return counts / counts.sum()
+
+
+def is_uniform_sharing(
+    s0: np.ndarray, s1: np.ndarray, tol: float = 0.02
+) -> bool:
+    """Check that the mask share ``s0`` is (empirically) uniform."""
+    p = s0.mean()
+    return abs(p - 0.5) < tol
+
+
+def shares_independent_of(
+    share_bits: Sequence[np.ndarray],
+    secret: np.ndarray,
+    tol: float = 0.05,
+) -> bool:
+    """Empirically test P(shares | secret=0) ≈ P(shares | secret=1).
+
+    This is the first-order security notion used informally throughout
+    the paper: no share (or probed tuple of wires) may have a
+    distribution that depends on an unshared secret.
+    """
+    mask0 = ~secret.astype(bool)
+    mask1 = secret.astype(bool)
+    if mask0.sum() == 0 or mask1.sum() == 0:
+        raise ValueError("need both secret values represented")
+    d0 = joint_distribution([b[mask0] for b in share_bits])
+    d1 = joint_distribution([b[mask1] for b in share_bits])
+    return bool(np.max(np.abs(d0 - d1)) < tol)

@@ -1,0 +1,110 @@
+"""DES substrate: reference cipher, ANF decomposition, masked cores.
+
+Everything the paper's case study (Sec. IV) needs: the unprotected
+round-based DES (golden model), the mini-S-box/MUX decomposition with
+ANF (Eq. 3/4), the share-level masked model, and the two gate-level
+masked engines (secAND2-FF and secAND2-PD).
+"""
+
+from .tables import E, FP, IP, N_ROUNDS, P, PC1, PC2, SBOXES, SHIFTS
+from .bits import (
+    bitarray_to_ints,
+    bits_to_int,
+    int_to_bitarray,
+    int_to_bits,
+    permute_int,
+    permute_rows,
+)
+from .keyschedule import masked_round_keys_bits, round_keys, round_keys_bits
+from .reference import (
+    des_decrypt,
+    des_encrypt,
+    des_encrypt_bits,
+    feistel,
+    sbox_lookup,
+    tdes_decrypt,
+    tdes_encrypt,
+)
+from .sbox_anf import (
+    ALL_DEG2,
+    ALL_DEG3,
+    ALL_MONOMIALS,
+    MiniSboxANF,
+    SboxDecomposition,
+    anf_of_row,
+    decompose_sbox,
+    evaluate_row_anf,
+    mobius_transform,
+    monomial_name,
+    select_products,
+)
+from .masked_core import SBOX_RANDOM_BITS, MaskedDES, MaskedSboxModel
+from .masked_netlist import (
+    PD_MINI_SCHEDULE,
+    PD_SELECT_SCHEDULE,
+    SBOX_N_SECAND2,
+    build_sbox_ff,
+    build_sbox_pd,
+    build_standalone_sbox,
+)
+from .engines import DESTraceSource, MaskedDESNetlistEngine
+from .selective_refresh import (
+    RefreshPlan,
+    greedy_minimal_refresh,
+    refresh_bits_used,
+    uniformity_defect,
+)
+
+__all__ = [
+    "E",
+    "FP",
+    "IP",
+    "N_ROUNDS",
+    "P",
+    "PC1",
+    "PC2",
+    "SBOXES",
+    "SHIFTS",
+    "bitarray_to_ints",
+    "bits_to_int",
+    "int_to_bitarray",
+    "int_to_bits",
+    "permute_int",
+    "permute_rows",
+    "masked_round_keys_bits",
+    "round_keys",
+    "round_keys_bits",
+    "des_decrypt",
+    "des_encrypt",
+    "des_encrypt_bits",
+    "feistel",
+    "sbox_lookup",
+    "tdes_decrypt",
+    "tdes_encrypt",
+    "ALL_DEG2",
+    "ALL_DEG3",
+    "ALL_MONOMIALS",
+    "MiniSboxANF",
+    "SboxDecomposition",
+    "anf_of_row",
+    "decompose_sbox",
+    "evaluate_row_anf",
+    "mobius_transform",
+    "monomial_name",
+    "select_products",
+    "SBOX_RANDOM_BITS",
+    "MaskedDES",
+    "MaskedSboxModel",
+    "PD_MINI_SCHEDULE",
+    "PD_SELECT_SCHEDULE",
+    "SBOX_N_SECAND2",
+    "build_sbox_ff",
+    "build_sbox_pd",
+    "build_standalone_sbox",
+    "DESTraceSource",
+    "MaskedDESNetlistEngine",
+    "RefreshPlan",
+    "greedy_minimal_refresh",
+    "refresh_bits_used",
+    "uniformity_defect",
+]

@@ -1,0 +1,82 @@
+"""Bit-vector helpers shared by the DES models.
+
+Two representations are used throughout:
+
+* **scalar**: Python ints with DES's MSB-first bit numbering (bit 1 of a
+  64-bit block is the most significant) — used by the reference cipher;
+* **vectorised**: numpy boolean arrays of shape ``(width, n_traces)``,
+  one row per bit in MSB-first order — used by the masked models, where
+  a permutation is just a row gather.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "int_to_bits",
+    "bits_to_int",
+    "permute_int",
+    "int_to_bitarray",
+    "bitarray_to_ints",
+    "permute_rows",
+]
+
+
+def int_to_bits(value: int, width: int) -> list:
+    """MSB-first list of 0/1 ints."""
+    return [(value >> (width - 1 - i)) & 1 for i in range(width)]
+
+
+def bits_to_int(bits: Sequence[int]) -> int:
+    """MSB-first bits back to an int."""
+    out = 0
+    for b in bits:
+        out = (out << 1) | (int(b) & 1)
+    return out
+
+
+def permute_int(value: int, table: Sequence[int], width: int) -> int:
+    """Apply a 1-based DES permutation table to an integer.
+
+    ``table[i]`` gives the (1-based, MSB-first) source bit of output
+    bit ``i``; ``width`` is the *input* width.
+    """
+    out = 0
+    for pos in table:
+        out = (out << 1) | ((value >> (width - pos)) & 1)
+    return out
+
+
+def int_to_bitarray(values: "np.ndarray | int", width: int, n: int = None) -> np.ndarray:
+    """Ints to an MSB-first (width, n) boolean matrix.
+
+    Args:
+        values: (n,) unsigned integer array, or a scalar with ``n``.
+    """
+    if not isinstance(values, np.ndarray):
+        if n is None:
+            raise ValueError("scalar values require n")
+        values = np.full(n, values, dtype=np.uint64)
+    values = values.astype(np.uint64, copy=False)
+    shifts = np.arange(width - 1, -1, -1, dtype=np.uint64)
+    return ((values[None, :] >> shifts[:, None]) & np.uint64(1)).astype(bool)
+
+
+def bitarray_to_ints(bits: np.ndarray) -> np.ndarray:
+    """MSB-first (width, n) boolean matrix back to (n,) uint64."""
+    width = bits.shape[0]
+    if width > 64:
+        raise ValueError("at most 64 bits fit a uint64")
+    out = np.zeros(bits.shape[1], dtype=np.uint64)
+    for i in range(width):
+        out = (out << np.uint64(1)) | bits[i].astype(np.uint64)
+    return out
+
+
+def permute_rows(bits: np.ndarray, table: Sequence[int]) -> np.ndarray:
+    """Apply a 1-based permutation table as a row gather."""
+    idx = np.asarray(table, dtype=np.int64) - 1
+    return bits[idx]

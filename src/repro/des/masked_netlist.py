@@ -1,0 +1,444 @@
+"""Gate-level masked DES S-boxes (Fig. 8a and Fig. 9a).
+
+Both variants share the same dataflow (mini-S-box AND stage -> refresh
+-> mini XOR stage; MUX select stage -> refresh -> register; MUX AND
+stage 2 -> MUX XOR stage 3) and differ in how safe input-arrival
+sequences are enforced:
+
+* **FF variant** (Fig. 8a): secAND2-FF gadgets whose internal y1
+  flip-flops are enabled layer by layer by an FSM, preceded by an input
+  register layer; S-box latency 5 cycles, plus input/output registers
+  -> 7 cycles per DES round.  Gadget FFs carry ``reset_group="gadget"``
+  so the harness can reset them between rounds (Sec. II-C).
+
+* **PD variant** (Fig. 9a): plain secAND2 cores behind chained-LUT
+  delay lines.  All twelve input shares of one S-box share a single
+  staggered schedule that generalises Table II to four variables with
+  common products:
+
+      x4_s0 (0) -> x3_s0 (1) -> x2_s0 (2) -> x1_s0,x1_s1 (3)
+      -> x2_s1 (4) -> x3_s1 (5) -> x4_s1 (6)   [DelayUnits]
+
+  which makes every one of the ten shared products (and the degree-3
+  chains, Fig. 6) observe "y0 first / x middle / y1 last".  S-box
+  latency 2 cycles.
+
+Routing skew: on the FPGA the delay of a route is placement-dependent;
+the paper's whole DelayUnit-size study (Sec. VII-B) exists because the
+staggering must exceed that skew.  Builders therefore support a
+deterministic per-instance routing-jitter model
+(:meth:`repro.netlist.circuit.Circuit` jitter hook below) — with a
+1-LUT DelayUnit the jitter breaks the arrival order at many sites
+(pronounced leakage, Fig. 15a); at 10 LUTs the order always holds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.gadgets import (
+    SharePair,
+    refresh,
+    secand2,
+    secand2_core_on_wires,
+    secand2_ff,
+)
+from ..netlist.cells import DELAY_UNIT_DEFAULT_LUTS
+from ..netlist.circuit import Circuit
+from .sbox_anf import decompose_sbox
+
+__all__ = [
+    "FFSboxControls",
+    "PDSboxControls",
+    "PD_MINI_SCHEDULE",
+    "PD_SELECT_SCHEDULE",
+    "PD_STAGE2_SEL_UNITS",
+    "PD_STAGE2_MINI_UNITS",
+    "build_sbox_ff",
+    "build_sbox_pd",
+    "build_standalone_sbox",
+    "SBOX_N_SECAND2",
+]
+
+#: secAND2 instances per protected S-box: 10 (mini AND stage) + 4
+#: (MUX stage 1) + 16 (MUX stage 2) — Sec. VI-A's "30 secAND2 gates".
+SBOX_N_SECAND2 = 30
+
+#: PD DelayUnits for the mini S-box inputs x1..x4: (share0, share1).
+PD_MINI_SCHEDULE: Dict[int, Tuple[int, int]] = {
+    0: (3, 3),  # x1 — innermost variable, both shares together
+    1: (2, 4),  # x2
+    2: (1, 5),  # x3
+    3: (0, 6),  # x4 — outermost: share0 first, share1 last
+}
+
+#: PD DelayUnits for the MUX select inputs (x0, x5).
+PD_SELECT_SCHEDULE: Dict[str, Tuple[int, int]] = {
+    "x0": (1, 1),
+    "x5": (0, 2),
+}
+
+#: PD DelayUnits in MUX stage 2: the registered select products are the
+#: x operand (middle), the registered mini S-box outputs the y operand
+#: (share0 first, share1 last).
+PD_STAGE2_SEL_UNITS: Tuple[int, int] = (1, 1)
+PD_STAGE2_MINI_UNITS: Tuple[int, int] = (0, 2)
+
+
+@dataclass(frozen=True)
+class FFSboxControls:
+    """Enable wires of the FF S-box FSM (shared by all eight S-boxes).
+
+    Cycle schedule within a 7-cycle round (edge Ek starts cycle ck):
+
+    =====  ==================================================
+    edge   sampling (enable raised during the previous cycle)
+    =====  ==================================================
+    E0     state registers; gadget-FF reset group
+    E1     S-box input registers (``en_inreg``)
+    E2     degree-2 + MUX-select gadget FFs (``en_deg2``)
+    E3     degree-3 gadget FFs + MUX1 product register
+    E4     MUX stage 2 gadget FFs (``en_mux2``)
+    E5     S-box output registers (``en_outreg``)
+    E6     (settling margin)
+    =====  ==================================================
+    """
+
+    en_inreg: int
+    en_deg2: int
+    en_deg3: int
+    en_muxreg: int
+    en_mux2: int
+    en_outreg: int
+
+
+@dataclass(frozen=True)
+class PDSboxControls:
+    """Enable wires of the PD S-box (2-cycle rounds).
+
+    ``en_round``: input register (+ state/key registers, round edge);
+    ``en_mid``: mid registers between stage A and stage B.
+    """
+
+    en_round: int
+    en_mid: int
+
+
+def _mini_xor_stage(
+    c: Circuit,
+    decomp,
+    mid: Sequence[SharePair],
+    refreshed: Dict[int, SharePair],
+    tag: str,
+) -> List[List[SharePair]]:
+    """Eq. 3's linear layer: rows x bits of mini S-box output shares."""
+    rows_out: List[List[SharePair]] = []
+    for r, row in enumerate(decomp.rows):
+        bits: List[SharePair] = []
+        for b in range(4):
+            terms0 = [mid[v].s0 for v in row.linear[b]]
+            terms1 = [mid[v].s1 for v in row.linear[b]]
+            terms0 += [refreshed[m].s0 for m in row.products[b]]
+            terms1 += [refreshed[m].s1 for m in row.products[b]]
+            if not terms0:
+                raise ValueError(
+                    f"S-box {decomp.sbox} row {r} bit {b}: empty ANF"
+                )
+            s0 = c.xor_tree(terms0, name=f"{tag}_r{r}b{b}_t0")
+            s1 = c.xor_tree(terms1, name=f"{tag}_r{r}b{b}_t1")
+            if row.constants[b]:
+                s0 = c.inv(s0, name=f"{tag}_r{r}b{b}_c")
+            bits.append(SharePair(s0, s1))
+        rows_out.append(bits)
+    return rows_out
+
+
+def build_sbox_ff(
+    c: Circuit,
+    sbox: int,
+    ins: Sequence[SharePair],
+    rand: Sequence[int],
+    ctrl: FFSboxControls,
+    tag: str = "sb",
+    output_register: bool = True,
+) -> List[SharePair]:
+    """Protected S-box with secAND2-FF (Fig. 8a).
+
+    Args:
+        c: Target circuit.
+        sbox: S-box index 0..7.
+        ins: Six share pairs (x0..x5) — the D values of the S-box input
+            register (e.g. ``E(R) ^ K`` slices).
+        rand: Fourteen fresh-randomness wires (10 product + 4 select
+            refreshes); recycled across S-boxes by the caller.
+        ctrl: FSM enable wires.
+        output_register: With False, the S-box output register is
+            omitted (the paper's open question of Sec. IV-B/VI-A:
+            "whether the S-box output register can be removed ... we
+            leave for future work"); the round then takes 6 cycles.
+
+    Returns:
+        Four share pairs — the S-box output register Q wires (or the
+        combinational stage-3 outputs when ``output_register=False``).
+    """
+    if len(ins) != 6 or len(rand) != 14:
+        raise ValueError("need 6 input share pairs and 14 random wires")
+    decomp = decompose_sbox(sbox, all_products=True)
+
+    # input register layer (Fig. 5 / Fig. 8a)
+    reg = [
+        SharePair(
+            c.dffe(p.s0, ctrl.en_inreg, name=f"{tag}_in{i}s0"),
+            c.dffe(p.s1, ctrl.en_inreg, name=f"{tag}_in{i}s1"),
+        )
+        for i, p in enumerate(ins)
+    ]
+    mid = reg[1:5]  # x1..x4
+
+    # --- mini S-box AND stage: 10 secAND2-FF (6 deg-2 + 4 chained deg-3)
+    products: Dict[int, SharePair] = {}
+    for mask in decomp.monomials:
+        if bin(mask).count("1") == 2:
+            i, j = [k for k in range(4) if mask & (8 >> k)]
+            products[mask] = secand2_ff(
+                c, mid[i], mid[j], enable=ctrl.en_deg2, tag=f"{tag}_p{mask:x}"
+            )
+    for mask in decomp.monomials:
+        if bin(mask).count("1") == 3:
+            d2, extra = decomp.deg3_factorisation(mask)
+            products[mask] = secand2_ff(
+                c,
+                products[d2],
+                mid[extra],
+                enable=ctrl.en_deg3,
+                tag=f"{tag}_p{mask:x}",
+            )
+
+    # --- refresh the ten products (Sec. IV-A), then the linear layer
+    refreshed = {
+        mask: refresh(c, products[mask], rand[k], tag=f"{tag}_ref{mask:x}")
+        for k, mask in enumerate(decomp.monomials)
+    }
+    rows_out = _mini_xor_stage(c, decomp, mid, refreshed, f"{tag}_mx")
+
+    # --- MUX stage 1: four select products on (x0, x5); the four
+    # gadgets share one y1 flip-flop (same x5_s1 for all rows).
+    x0_, x5_ = reg[0], reg[5]
+    nx0 = c.inv(x0_.s0, name=f"{tag}_nx0")
+    nx5 = c.inv(x5_.s0, name=f"{tag}_nx5")
+    y1q = c.dffe(
+        x5_.s1, ctrl.en_deg2, name=f"{tag}_sel_ffy1", reset_group="gadget"
+    )
+    sel_regged: List[SharePair] = []
+    for r in range(4):
+        xs0 = x0_.s0 if (r >> 1) else nx0
+        ys0 = x5_.s0 if (r & 1) else nx5
+        raw = _sel_core(c, xs0, x0_.s1, ys0, y1q, f"{tag}_sel{r}")
+        ref = refresh(c, raw, rand[10 + r], tag=f"{tag}_selref{r}")
+        sel_regged.append(
+            SharePair(
+                c.dffe(ref.s0, ctrl.en_muxreg, name=f"{tag}_selreg{r}s0"),
+                c.dffe(ref.s1, ctrl.en_muxreg, name=f"{tag}_selreg{r}s1"),
+            )
+        )
+
+    # --- MUX stage 2 (16 secAND2-FF) and stage 3 (XOR rows together)
+    outputs: List[SharePair] = []
+    for b in range(4):
+        terms: List[SharePair] = []
+        for r in range(4):
+            terms.append(
+                secand2_ff(
+                    c,
+                    sel_regged[r],
+                    rows_out[r][b],
+                    enable=ctrl.en_mux2,
+                    tag=f"{tag}_m2r{r}b{b}",
+                )
+            )
+        s0 = c.xor_tree([t.s0 for t in terms], name=f"{tag}_o{b}s0")
+        s1 = c.xor_tree([t.s1 for t in terms], name=f"{tag}_o{b}s1")
+        if output_register:
+            outputs.append(
+                SharePair(
+                    c.dffe(s0, ctrl.en_outreg, name=f"{tag}_out{b}s0"),
+                    c.dffe(s1, ctrl.en_outreg, name=f"{tag}_out{b}s1"),
+                )
+            )
+        else:
+            outputs.append(SharePair(s0, s1))
+    return outputs
+
+
+def _sel_core(
+    c: Circuit, x0: int, x1: int, y0: int, y1: int, tag: str
+) -> SharePair:
+    """secAND2 combinational core on already-prepared share wires."""
+    return secand2_core_on_wires(c, x0, x1, y0, y1, tag)
+
+
+def build_sbox_pd(
+    c: Circuit,
+    sbox: int,
+    ins: Sequence[SharePair],
+    rand: Sequence[int],
+    ctrl: PDSboxControls,
+    n_luts: int = DELAY_UNIT_DEFAULT_LUTS,
+    tag: str = "sb",
+) -> Tuple[List[SharePair], List[Tuple[int, int]]]:
+    """Protected S-box with secAND2-PD (Fig. 9a).
+
+    Returns:
+        ``(outputs, coupling_pairs)``: the four output share pairs
+        (combinational — the PD engine has no S-box output register) and
+        the list of physically-adjacent delay-line wire pairs that carry
+        the two shares of one variable with *equal* nominal delay — the
+        candidates for the coupling model of Sec. VII-C.
+    """
+    if len(ins) != 6 or len(rand) != 14:
+        raise ValueError("need 6 input share pairs and 14 random wires")
+    decomp = decompose_sbox(sbox, all_products=True)
+    coupling_pairs: List[Tuple[int, int]] = []
+
+    # input register (loaded at the round edge, Fig. 9b)
+    reg = [
+        SharePair(
+            c.dffe(p.s0, ctrl.en_round, name=f"{tag}_in{i}s0"),
+            c.dffe(p.s1, ctrl.en_round, name=f"{tag}_in{i}s1"),
+        )
+        for i, p in enumerate(ins)
+    ]
+
+    # --- shared staggered delay lines for x1..x4
+    mid: List[SharePair] = []
+    for v in range(4):
+        u0, u1 = PD_MINI_SCHEDULE[v]
+        d0 = c.delay_line(reg[v + 1].s0, u0, n_luts, name=f"{tag}_dl{v}s0")
+        d1 = c.delay_line(reg[v + 1].s1, u1, n_luts, name=f"{tag}_dl{v}s1")
+        mid.append(SharePair(d0, d1))
+        if u0 == u1 and u0 > 0:
+            coupling_pairs.append((d0, d1))
+
+    # --- AND stage: 10 secAND2 on the delayed shares, degree-3 terms
+    # chained per Fig. 6 (undelayed gadget outputs feed the x operand).
+    products: Dict[int, SharePair] = {}
+    for mask in decomp.monomials:
+        if bin(mask).count("1") == 2:
+            i, j = [k for k in range(4) if mask & (8 >> k)]
+            products[mask] = secand2(c, mid[i], mid[j], tag=f"{tag}_p{mask:x}")
+    for mask in decomp.monomials:
+        if bin(mask).count("1") == 3:
+            d2, extra = decomp.deg3_factorisation(mask)
+            products[mask] = secand2(
+                c, products[d2], mid[extra], tag=f"{tag}_p{mask:x}"
+            )
+
+    refreshed = {
+        mask: refresh(c, products[mask], rand[k], tag=f"{tag}_ref{mask:x}")
+        for k, mask in enumerate(decomp.monomials)
+    }
+    rows_out = _mini_xor_stage(c, decomp, mid, refreshed, f"{tag}_mx")
+
+    # --- MUX stage 1 on delayed (x0, x5)
+    u = PD_SELECT_SCHEDULE
+    x0d = SharePair(
+        c.delay_line(reg[0].s0, u["x0"][0], n_luts, name=f"{tag}_dlx0s0"),
+        c.delay_line(reg[0].s1, u["x0"][1], n_luts, name=f"{tag}_dlx0s1"),
+    )
+    x5d = SharePair(
+        c.delay_line(reg[5].s0, u["x5"][0], n_luts, name=f"{tag}_dlx5s0"),
+        c.delay_line(reg[5].s1, u["x5"][1], n_luts, name=f"{tag}_dlx5s1"),
+    )
+    if u["x0"][0] == u["x0"][1]:
+        coupling_pairs.append((x0d.s0, x0d.s1))
+    nx0 = c.inv(x0d.s0, name=f"{tag}_nx0")
+    nx5 = c.inv(x5d.s0, name=f"{tag}_nx5")
+    sel_mid: List[SharePair] = []
+    for r in range(4):
+        xs0 = x0d.s0 if (r >> 1) else nx0
+        ys0 = x5d.s0 if (r & 1) else nx5
+        raw = _sel_core(c, xs0, x0d.s1, ys0, x5d.s1, f"{tag}_sel{r}")
+        ref = refresh(c, raw, rand[10 + r], tag=f"{tag}_selref{r}")
+        sel_mid.append(
+            SharePair(
+                c.dffe(ref.s0, ctrl.en_mid, name=f"{tag}_selmid{r}s0"),
+                c.dffe(ref.s1, ctrl.en_mid, name=f"{tag}_selmid{r}s1"),
+            )
+        )
+
+    # --- mid registers for the mini S-box outputs, then stage B delays
+    outputs: List[SharePair] = []
+    stage2_terms: List[List[SharePair]] = [[] for _ in range(4)]
+    for r in range(4):
+        su0, su1 = PD_STAGE2_SEL_UNITS
+        seld = SharePair(
+            c.delay_line(sel_mid[r].s0, su0, n_luts, name=f"{tag}_dls{r}s0"),
+            c.delay_line(sel_mid[r].s1, su1, n_luts, name=f"{tag}_dls{r}s1"),
+        )
+        if su0 == su1 and su0 > 0:
+            coupling_pairs.append((seld.s0, seld.s1))
+        for b in range(4):
+            mreg = SharePair(
+                c.dffe(rows_out[r][b].s0, ctrl.en_mid, name=f"{tag}_mmid{r}{b}s0"),
+                c.dffe(rows_out[r][b].s1, ctrl.en_mid, name=f"{tag}_mmid{r}{b}s1"),
+            )
+            mu0, mu1 = PD_STAGE2_MINI_UNITS
+            mind = SharePair(
+                c.delay_line(mreg.s0, mu0, n_luts, name=f"{tag}_dlm{r}{b}s0"),
+                c.delay_line(mreg.s1, mu1, n_luts, name=f"{tag}_dlm{r}{b}s1"),
+            )
+            stage2_terms[b].append(
+                secand2(c, seld, mind, tag=f"{tag}_m2r{r}b{b}")
+            )
+    for b in range(4):
+        s0 = c.xor_tree([t.s0 for t in stage2_terms[b]], name=f"{tag}_o{b}s0")
+        s1 = c.xor_tree([t.s1 for t in stage2_terms[b]], name=f"{tag}_o{b}s1")
+        outputs.append(SharePair(s0, s1))
+    return outputs, coupling_pairs
+
+
+def build_standalone_sbox(
+    sbox: int,
+    variant: str = "ff",
+    n_luts: int = DELAY_UNIT_DEFAULT_LUTS,
+) -> Tuple[Circuit, object, List[Tuple[int, int]]]:
+    """One protected S-box as a self-contained circuit.
+
+    Primary inputs: ``x{i}s{j}`` share wires, ``r0..r13`` randomness,
+    and the variant's control wires.  Outputs ``y{b}s{j}``.
+
+    Returns:
+        ``(circuit, controls, coupling_pairs)``.
+    """
+    c = Circuit(f"masked-sbox{sbox}-{variant}")
+    ins = [
+        SharePair(c.add_input(f"x{i}s0"), c.add_input(f"x{i}s1"))
+        for i in range(6)
+    ]
+    rand = [c.add_input(f"r{k}") for k in range(14)]
+    coupling: List[Tuple[int, int]] = []
+    if variant == "ff":
+        ctrl = FFSboxControls(
+            en_inreg=c.add_input("en_inreg"),
+            en_deg2=c.add_input("en_deg2"),
+            en_deg3=c.add_input("en_deg3"),
+            en_muxreg=c.add_input("en_muxreg"),
+            en_mux2=c.add_input("en_mux2"),
+            en_outreg=c.add_input("en_outreg"),
+        )
+        outs = build_sbox_ff(c, sbox, ins, rand, ctrl)
+    elif variant == "pd":
+        ctrl = PDSboxControls(
+            en_round=c.add_input("en_round"), en_mid=c.add_input("en_mid")
+        )
+        outs, coupling = build_sbox_pd(c, sbox, ins, rand, ctrl, n_luts=n_luts)
+    else:
+        raise ValueError("variant must be 'ff' or 'pd'")
+    for b, p in enumerate(outs):
+        c.mark_output(f"y{b}s0", p.s0)
+        c.mark_output(f"y{b}s1", p.s1)
+    c.check()
+    return c, ctrl, coupling

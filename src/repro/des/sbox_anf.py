@@ -1,0 +1,242 @@
+"""Mini-S-box decomposition and ANF of the DES S-boxes (Sec. IV-A).
+
+Each DES S-box takes six bits ``(x0, x1, x2, x3, x4, x5)`` (paper
+notation) and is decomposed into
+
+* four *mini S-boxes* — the four rows of the table, each a 4-bit
+  permutation of the middle bits ``(x1, x2, x3, x4)`` — expressed in
+  Algebraic Normal Form (Eq. 3), and
+* a 4:1 MUX on the outer bits ``(x0, x5)`` realised as four select
+  products ``x0.x5, x0.!x5, !x0.x5, !x0.!x5`` multiplied into the mini
+  S-box outputs and XOR-ed (Eq. 4).
+
+Because each row of a DES S-box is a 4-bit *permutation*, its component
+functions have algebraic degree at most 3; there are therefore at most
+C(4,2) = 6 degree-2 and C(4,3) = 4 degree-3 monomials — the paper's
+"ten possible product terms", computed once per S-box and shared by all
+four mini S-boxes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .tables import SBOXES
+
+__all__ = [
+    "mobius_transform",
+    "anf_of_row",
+    "MiniSboxANF",
+    "SboxDecomposition",
+    "decompose_sbox",
+    "ALL_DEG2",
+    "ALL_DEG3",
+    "ALL_MONOMIALS",
+    "monomial_name",
+    "evaluate_row_anf",
+    "select_products",
+]
+
+#: Monomial masks over (x1, x2, x3, x4); bit 3 of the mask is x1 (the
+#: MSB of the mini S-box column index), bit 0 is x4.
+ALL_DEG2: Tuple[int, ...] = tuple(
+    m for m in range(16) if bin(m).count("1") == 2
+)
+ALL_DEG3: Tuple[int, ...] = tuple(
+    m for m in range(16) if bin(m).count("1") == 3
+)
+#: The ten possible nonlinear monomials, degree-2 first.
+ALL_MONOMIALS: Tuple[int, ...] = ALL_DEG2 + ALL_DEG3
+
+_VAR_NAMES = ("x1", "x2", "x3", "x4")
+
+
+def monomial_name(mask: int) -> str:
+    """Human-readable monomial, e.g. ``x1*x3``; ``1`` for the constant."""
+    if mask == 0:
+        return "1"
+    return "*".join(_VAR_NAMES[i] for i in range(4) if mask & (8 >> i))
+
+
+def mobius_transform(truth_table: Sequence[int]) -> List[int]:
+    """ANF coefficients of a 4-variable boolean function.
+
+    Args:
+        truth_table: 16 values f(c) for c = x1*8 + x2*4 + x3*2 + x4.
+
+    Returns:
+        16 coefficients a_m with ``f(c) = XOR over m subset-of c of a_m``.
+    """
+    a = [int(v) & 1 for v in truth_table]
+    n = 4
+    for i in range(n):
+        step = 1 << i
+        for m in range(16):
+            if m & step:
+                a[m] ^= a[m ^ step]
+    return a
+
+
+@dataclass(frozen=True)
+class MiniSboxANF:
+    """ANF of one mini S-box (one row of a DES S-box).
+
+    Attributes:
+        sbox: S-box index 0..7.
+        row: Row (mini S-box) index 0..3 — selected by ``(x0, x5)``.
+        constants: Per output bit (4), the constant term (0/1).
+        linear: Per output bit, tuple of linear variable indexes
+            (0 -> x1 .. 3 -> x4).
+        products: Per output bit, tuple of nonlinear monomial masks.
+    """
+
+    sbox: int
+    row: int
+    constants: Tuple[int, ...]
+    linear: Tuple[Tuple[int, ...], ...]
+    products: Tuple[Tuple[int, ...], ...]
+
+    @property
+    def degree(self) -> int:
+        return max(
+            (bin(m).count("1") for bits in self.products for m in bits),
+            default=1,
+        )
+
+    def used_monomials(self) -> Tuple[int, ...]:
+        seen = sorted({m for bits in self.products for m in bits})
+        return tuple(seen)
+
+
+def anf_of_row(sbox: int, row: int) -> MiniSboxANF:
+    """Compute the ANF of all four output bits of one mini S-box."""
+    table = SBOXES[sbox][row]
+    constants: List[int] = []
+    linear: List[Tuple[int, ...]] = []
+    products: List[Tuple[int, ...]] = []
+    for bit in range(4):  # output bit, MSB first (y1 .. y4 of Eq. 3)
+        tt = [(table[c] >> (3 - bit)) & 1 for c in range(16)]
+        coeffs = mobius_transform(tt)
+        constants.append(coeffs[0])
+        lin = tuple(i for i in range(4) if coeffs[8 >> i])
+        prods = tuple(
+            m for m in ALL_MONOMIALS if coeffs[m]
+        )
+        # A 4-bit permutation has component degree <= 3: no x1x2x3x4.
+        if coeffs[0b1111]:
+            raise AssertionError(
+                f"S-box {sbox} row {row} bit {bit} has degree 4 — "
+                "DES rows must be 4-bit permutations"
+            )
+        linear.append(lin)
+        products.append(prods)
+    return MiniSboxANF(
+        sbox=sbox,
+        row=row,
+        constants=tuple(constants),
+        linear=tuple(linear),
+        products=tuple(products),
+    )
+
+
+@dataclass(frozen=True)
+class SboxDecomposition:
+    """Complete masked-evaluation plan of one DES S-box.
+
+    Attributes:
+        sbox: S-box index.
+        rows: The four mini S-box ANFs.
+        monomials: Ordered nonlinear monomials actually used by any row
+            (degree-2 first) — the product terms the AND stage computes
+            once and shares (at most 10).
+    """
+
+    sbox: int
+    rows: Tuple[MiniSboxANF, ...]
+    monomials: Tuple[int, ...]
+
+    @property
+    def n_deg2(self) -> int:
+        return sum(1 for m in self.monomials if bin(m).count("1") == 2)
+
+    @property
+    def n_deg3(self) -> int:
+        return sum(1 for m in self.monomials if bin(m).count("1") == 3)
+
+    def deg3_factorisation(self, mask: int) -> Tuple[int, int]:
+        """Factor a degree-3 monomial as (deg2_mask, extra_var_index).
+
+        Used by the AND stage: a degree-3 product is one more secAND2
+        on an already-computed degree-2 product (keeps the stage at
+        n-1 = 10 gadgets).  Prefers a degree-2 factor that is itself in
+        :attr:`monomials`; the DES S-boxes always allow this when all
+        six degree-2 products are computed.
+        """
+        vars_in = [i for i in range(4) if mask & (8 >> i)]
+        for extra in reversed(vars_in):
+            deg2 = mask & ~(8 >> extra)
+            if deg2 in self.monomials:
+                return deg2, extra
+        # fall back to any factorisation (deg-2 product to be added)
+        extra = vars_in[-1]
+        return mask & ~(8 >> extra), extra
+
+
+@lru_cache(maxsize=None)
+def decompose_sbox(sbox: int, all_products: bool = True) -> SboxDecomposition:
+    """Decompose S-box ``sbox`` into mini S-boxes + shared monomials.
+
+    Args:
+        all_products: When True (paper's choice), the AND stage always
+            computes all ten possible products; when False, only the
+            monomials some row actually uses.
+    """
+    rows = tuple(anf_of_row(sbox, r) for r in range(4))
+    if all_products:
+        monomials = ALL_MONOMIALS
+    else:
+        used = set()
+        for r in rows:
+            used.update(r.used_monomials())
+        # keep canonical order: degree-2 before degree-3
+        monomials = tuple(m for m in ALL_MONOMIALS if m in used)
+    return SboxDecomposition(sbox=sbox, rows=rows, monomials=monomials)
+
+
+def evaluate_row_anf(anf: MiniSboxANF, x: np.ndarray) -> np.ndarray:
+    """Evaluate a mini S-box ANF on (4, n) input bits -> (4, n) outputs.
+
+    Reference model for verifying both the decomposition (against the
+    table) and the masked netlists.
+    """
+    out = np.zeros((4, x.shape[1]), dtype=bool)
+    for bit in range(4):
+        acc = np.full(x.shape[1], bool(anf.constants[bit]))
+        for v in anf.linear[bit]:
+            acc = acc ^ x[v]
+        for m in anf.products[bit]:
+            prod = np.ones(x.shape[1], dtype=bool)
+            for i in range(4):
+                if m & (8 >> i):
+                    prod = prod & x[i]
+            acc = acc ^ prod
+        out[bit] = acc
+    return out
+
+
+def select_products(x0: np.ndarray, x5: np.ndarray) -> List[np.ndarray]:
+    """The four MUX select products of Eq. 4, row order 0..3.
+
+    Row index of the DES table is ``2*x0 + x5``, so row r is selected by
+    the product ``(x0 == r>>1) AND (x5 == r&1)``.
+    """
+    return [
+        (~x0) & (~x5),
+        (~x0) & x5,
+        x0 & (~x5),
+        x0 & x5,
+    ]

@@ -1,0 +1,149 @@
+"""Selective refresh — the paper's Sec. IV-A future-work optimisation.
+
+The reference design refreshes all ten product terms of an S-box (plus
+the four MUX select products) with fresh randomness before the XOR
+plane.  The paper notes: *"It is possible to further optimize the
+refresh step by selectively refreshing only some of the ten terms
+instead of refreshing all of them while maintaining uniformity, but we
+leave this optimization for future work."*
+
+This module implements that exploration: it measures the *uniformity
+defect* of the masked S-box output shares under an arbitrary subset of
+refresh positions, and greedily searches for a minimal subset that
+keeps the output-share distribution independent of the unshared input.
+
+The criterion: for every unshared 6-bit input, the distribution of the
+4-bit share-0 output nibble must be uniform over 16 values (the
+share-1 nibble is then automatically balanced as well since the
+recombination is fixed).  This is the empirical version of the
+uniformity the refresh layer is there to restore.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .bits import int_to_bitarray
+from .masked_core import MaskedSboxModel
+
+__all__ = [
+    "uniformity_defect",
+    "RefreshPlan",
+    "greedy_minimal_refresh",
+    "refresh_bits_used",
+]
+
+
+def uniformity_defect(
+    sbox: int,
+    refresh_mask: Sequence[bool],
+    n_per_input: int = 4000,
+    seed: int = 0,
+) -> float:
+    """Worst deviation of P(output share-0 nibble | input) from uniform.
+
+    Returns the maximum over all 64 unshared inputs of
+    ``max_v |P(nibble = v) - 1/16|``; a secure refresh plan keeps this
+    at the statistical-noise floor (~sqrt(1/16 * 15/16 / n)).
+    """
+    model = MaskedSboxModel(sbox)
+    rng = np.random.default_rng(seed)
+    worst = 0.0
+    mask = list(refresh_mask)
+
+    def nibble_defect(bits4: Sequence[np.ndarray]) -> float:
+        nib = (
+            bits4[0].astype(np.int64) * 8
+            + bits4[1] * 4
+            + bits4[2] * 2
+            + bits4[3]
+        )
+        counts = np.bincount(nib, minlength=16) / nib.shape[0]
+        return float(np.max(np.abs(counts - 1.0 / 16)))
+
+    for value in range(64):
+        bits = int_to_bitarray(np.uint64(value), 6, n_per_input)
+        share1 = rng.integers(0, 2, (6, n_per_input)).astype(bool)
+        rand14 = rng.integers(0, 2, (14, n_per_input)).astype(bool)
+        o0, _, rows_out, sel = model(
+            bits ^ share1,
+            share1,
+            rand14,
+            refresh_mask=mask,
+            expose_intermediates=True,
+        )
+        # the final output nibble ...
+        worst = max(worst, nibble_defect([o0[b] for b in range(4)]))
+        # ... and every mini-S-box output nibble (share 0) must be
+        # uniform: these feed the MUX AND stage and the XOR plane.
+        for row in rows_out:
+            worst = max(worst, nibble_defect([row[b][0] for b in range(4)]))
+    return worst
+
+
+@dataclass(frozen=True)
+class RefreshPlan:
+    """Result of the minimal-refresh search for one S-box."""
+
+    sbox: int
+    mask: Tuple[bool, ...]
+    defect: float
+    baseline_defect: float
+
+    @property
+    def bits_used(self) -> int:
+        return sum(self.mask)
+
+    @property
+    def bits_saved(self) -> int:
+        return len(self.mask) - self.bits_used
+
+    def row(self) -> str:
+        kept = [i for i, m in enumerate(self.mask) if m]
+        return (
+            f"S-box {self.sbox}: {self.bits_used}/14 refresh bits "
+            f"(saved {self.bits_saved}); defect {self.defect:.4f} "
+            f"(full-refresh floor {self.baseline_defect:.4f}); kept {kept}"
+        )
+
+
+def greedy_minimal_refresh(
+    sbox: int,
+    n_per_input: int = 4000,
+    tolerance_factor: float = 2.0,
+    seed: int = 0,
+) -> RefreshPlan:
+    """Greedily drop refresh positions while uniformity holds.
+
+    A candidate position is dropped if the uniformity defect stays
+    within ``tolerance_factor`` of the full-refresh statistical floor.
+    Greedy order: MUX select refreshes first (they sit behind another
+    secAND2 layer), then product refreshes from the highest monomial.
+
+    Note: this is an *empirical first-order uniformity* criterion — it
+    bounds the distribution of the output shares, which is the property
+    the refresh layer restores; it is not a proof of composable
+    security (neither is the paper's full refresh).
+    """
+    mask = [True] * 14
+    floor = uniformity_defect(sbox, mask, n_per_input, seed)
+    threshold = floor * tolerance_factor + 1e-4
+    order = list(range(13, -1, -1))
+    for pos in order:
+        mask[pos] = False
+        defect = uniformity_defect(sbox, mask, n_per_input, seed + pos + 1)
+        if defect > threshold:
+            mask[pos] = True
+    final = uniformity_defect(sbox, mask, n_per_input, seed + 99)
+    return RefreshPlan(
+        sbox=sbox, mask=tuple(mask), defect=final, baseline_defect=floor
+    )
+
+
+def refresh_bits_used(plans: Sequence[RefreshPlan]) -> int:
+    """Randomness per round if each S-box uses its own minimal plan
+    (without the paper's cross-S-box recycling)."""
+    return sum(p.bits_used for p in plans)

@@ -1,0 +1,194 @@
+"""Unprotected gate-level DES engine — the attack baseline.
+
+The paper's entire premise is that an *unmasked* implementation falls to
+first-order DPA (Kocher et al.).  This module provides that baseline as
+a netlist on the same simulator: a classical round-based DES without
+masking — one cycle per round, S-boxes built from the same mini-S-box
+ANF decomposition (plain AND/XOR instead of masked gadgets).
+
+Used by:
+* :mod:`repro.attacks` — first-order CPA recovers its round key within
+  a few hundred simulated traces (the negative control the masked
+  engines are measured against);
+* utilisation comparisons (the cost of masking = masked GE / these GE).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..netlist.circuit import Circuit
+from ..netlist.timing import analyze
+from ..sim.clocking import ClockedHarness
+from ..sim.power import PowerRecorder
+from .bits import permute_rows
+from .sbox_anf import decompose_sbox
+from .tables import E, FP, IP, N_ROUNDS, P, PC1, PC2, SHIFTS
+
+__all__ = ["build_unprotected_sbox", "UnprotectedDESEngine"]
+
+
+def build_unprotected_sbox(
+    c: Circuit, sbox: int, ins: List[int], tag: str = "usb"
+) -> List[int]:
+    """Plain (unmasked) DES S-box from the ANF decomposition.
+
+    Args:
+        c: Target circuit.
+        sbox: S-box index 0..7.
+        ins: Six input wires (x0..x5).
+
+    Returns:
+        Four output wires (y1..y4, MSB first).
+    """
+    decomp = decompose_sbox(sbox, all_products=True)
+    mid = ins[1:5]
+
+    products: Dict[int, int] = {}
+    for mask in decomp.monomials:
+        if bin(mask).count("1") == 2:
+            i, j = [k for k in range(4) if mask & (8 >> k)]
+            products[mask] = c.and2(mid[i], mid[j], name=f"{tag}_p{mask:x}")
+    for mask in decomp.monomials:
+        if bin(mask).count("1") == 3:
+            d2, extra = decomp.deg3_factorisation(mask)
+            products[mask] = c.and2(
+                products[d2], mid[extra], name=f"{tag}_p{mask:x}"
+            )
+
+    rows_out: List[List[int]] = []
+    for r, row in enumerate(decomp.rows):
+        bits: List[int] = []
+        for b in range(4):
+            terms = [mid[v] for v in row.linear[b]]
+            terms += [products[m] for m in row.products[b]]
+            w = c.xor_tree(terms, name=f"{tag}_r{r}b{b}")
+            if row.constants[b]:
+                w = c.inv(w, name=f"{tag}_r{r}b{b}c")
+            bits.append(w)
+        rows_out.append(bits)
+
+    nx0 = c.inv(ins[0], name=f"{tag}_nx0")
+    nx5 = c.inv(ins[5], name=f"{tag}_nx5")
+    sel = [
+        c.and2(nx0, nx5, name=f"{tag}_sel0"),
+        c.and2(nx0, ins[5], name=f"{tag}_sel1"),
+        c.and2(ins[0], nx5, name=f"{tag}_sel2"),
+        c.and2(ins[0], ins[5], name=f"{tag}_sel3"),
+    ]
+    outs: List[int] = []
+    for b in range(4):
+        terms = [
+            c.and2(sel[r], rows_out[r][b], name=f"{tag}_m{r}b{b}")
+            for r in range(4)
+        ]
+        outs.append(c.xor_tree(terms, name=f"{tag}_o{b}"))
+    return outs
+
+
+class UnprotectedDESEngine:
+    """Round-based unmasked DES netlist, one cycle per round."""
+
+    def __init__(self, routing_jitter_seed: Optional[int] = 2023):
+        c = Circuit("unprotected-DES")
+        if routing_jitter_seed is not None:
+            c.enable_routing_jitter(routing_jitter_seed, 40.0, 0.0)
+        self.circuit = c
+        self.shift2 = c.add_input("shift2")
+        self.en_state = c.add_input("en_state")
+        self._build(c)
+        c.check()
+        self.timing = analyze(c)
+        self.period_ps = int(self.timing.critical_path_ps) + 200
+        self.cycles_per_round = 1
+        self.total_cycles = N_ROUNDS + 1
+        self.bin_ps = max(50, self.period_ps // 8)
+        self.n_samples = int(
+            -(-self.total_cycles * self.period_ps // self.bin_ps)
+        )
+
+    def _build(self, c: Circuit) -> None:
+        r_d = [c.add_wire(f"R_d_{i}") for i in range(32)]
+        self._r_q = [
+            c.dffe(r_d[i], self.en_state, name=f"R_{i}") for i in range(32)
+        ]
+        self._l_q = [
+            c.dffe(self._r_q[i], self.en_state, name=f"L_{i}")
+            for i in range(32)
+        ]
+        cd_d = [c.add_wire(f"CD_d_{i}") for i in range(56)]
+        cd_q = [
+            c.dffe(cd_d[i], self.en_state, name=f"CD_{i}") for i in range(56)
+        ]
+        for i in range(56):
+            half, pos = (0, i) if i < 28 else (1, i - 28)
+            src1 = cd_q[half * 28 + (pos + 1) % 28]
+            src2 = cd_q[half * 28 + (pos + 2) % 28]
+            c.add_gate("MUX2", [self.shift2, src1, src2],
+                       output=cd_d[i], name=f"rot_{i}")
+        k = [cd_q[PC2[t] - 1] for t in range(48)]
+        e = [self._r_q[E[t] - 1] for t in range(48)]
+        xin = [c.xor2(e[t], k[t], name=f"ka_{t}") for t in range(48)]
+        sout: List[int] = []
+        for box in range(8):
+            sout.extend(
+                build_unprotected_sbox(
+                    c, box, xin[6 * box : 6 * box + 6], tag=f"usb{box}"
+                )
+            )
+        f = [sout[P[i] - 1] for i in range(32)]
+        for i in range(32):
+            c.add_gate("XOR2", [self._l_q[i], f[i]],
+                       output=r_d[i], name=f"fx_{i}")
+
+    # ------------------------------------------------------------------
+    def run_batch(
+        self,
+        pt_bits: np.ndarray,
+        key_bits: np.ndarray,
+        record: bool = True,
+    ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """Encrypt a batch; return (ciphertext bits, power traces)."""
+        n = pt_bits.shape[1]
+        h = ClockedHarness(self.circuit, n, self.period_ps, check_timing=False)
+        st = permute_rows(pt_bits, IP)
+        cd = permute_rows(key_bits, PC1)
+        cd = np.concatenate(
+            [np.roll(cd[:28], -SHIFTS[0], axis=0),
+             np.roll(cd[28:], -SHIFTS[0], axis=0)],
+            axis=0,
+        )
+        ff_vals = {}
+        for i in range(32):
+            ff_vals[f"L_{i}"] = st[i]
+            ff_vals[f"R_{i}"] = st[32 + i]
+        for i in range(56):
+            ff_vals[f"CD_{i}"] = cd[i]
+        inputs = {w: np.zeros(n, dtype=bool) for w in self.circuit.inputs}
+        h.preload(ff_vals, inputs)
+
+        rec = None
+        if record:
+            rec = PowerRecorder(
+                n,
+                self.total_cycles * self.period_ps,
+                bin_ps=self.bin_ps,
+                weights=h.sim.weights,
+            )
+        for rnd in range(N_ROUNDS):
+            nxt = rnd + 1
+            shift = SHIFTS[nxt] if nxt < N_ROUNDS else 1
+            h.step(
+                [
+                    (10, self.shift2, np.full(n, shift == 2)),
+                    (10, self.en_state, np.full(n, True)),
+                ],
+                recorder=rec,
+            )
+        h.step([(10, self.en_state, False)], recorder=rec)
+        r = np.stack([h.ff_state(f"R_{i}") for i in range(32)])
+        l = np.stack([h.ff_state(f"L_{i}") for i in range(32)])
+        ct = permute_rows(np.concatenate([r, l], axis=0), FP)
+        return ct, (rec.power if rec is not None else None)

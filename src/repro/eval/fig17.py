@@ -1,0 +1,141 @@
+"""Experiment: Fig. 17 — leakage assessment of the secAND2-PD DES.
+
+The final PD engine (DelayUnit = 10 LUTs) shows *marginal* first-order
+leakage with many traces (the extended abstract quotes ~15 M) even
+though its arrival ordering is statically safe.  The paper's second
+explanation — the one their extra experiments support — is physical
+*coupling* between the long delay lines (Sec. VII-C): 2-share designs
+can leak in the first order through coupled switching even when
+probing-secure.
+
+We regenerate the four panels with the coupling model enabled on the
+share-pair delay lines:
+
+* (d) PRNG off: detection within a few thousand traces (paper: 33 000);
+* (a)(b)(c) PRNG on, three fixed plaintexts: first-order t-statistics
+  that *do* cross the threshold, unlike the FF engine's — but only
+  with a large trace budget, and second-order leakage remains dominant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..des.engines import DESTraceSource, MaskedDESNetlistEngine
+from ..leakage.acquisition import (
+    CampaignConfig,
+    detect_leakage_traces,
+    run_multi_fixed,
+)
+from ..leakage.tvla import TvlaResult
+from .fig14 import FIXED_PLAINTEXTS, KEY
+from .report import rule, tvla_panel
+
+__all__ = ["Fig17Result", "run", "DEFAULT_COUPLING"]
+
+#: Coupling coefficient calibrated so the PD engine's first-order
+#: leakage needs roughly an order of magnitude more traces than the
+#: PRNG-off detection — mirroring 15 M vs 33 k on the paper's setup.
+DEFAULT_COUPLING = 2.0
+
+PAPER_TRACES_OFF_DETECT = 33_000
+PAPER_TRACES_FIRST_ORDER = 15_000_000
+
+
+@dataclass
+class Fig17Result:
+    prng_off_detected_at: Optional[int]
+    prng_off: TvlaResult
+    prng_on: List[TvlaResult]
+    coupling_coefficient: float
+
+    @property
+    def sanity_ok(self) -> bool:
+        return self.prng_off_detected_at is not None
+
+    @property
+    def first_order_leakage_observed(self) -> bool:
+        """The PD engine's residual first-order leakage (the paper's
+        headline observation for this variant)."""
+        return any(r.leaks(1) for r in self.prng_on)
+
+    def render(self) -> str:
+        parts = [
+            "Fig. 17 — TVLA of protected DES (secAND2-PD, DelayUnit=10, "
+            f"coupling c={self.coupling_coefficient})",
+            rule(),
+            f"(d) PRNG off: first-order leakage detected at "
+            f"{self.prng_off_detected_at} traces "
+            f"(paper: ~{PAPER_TRACES_OFF_DETECT:,})",
+            tvla_panel(self.prng_off),
+            rule(),
+        ]
+        for i, r in enumerate(self.prng_on):
+            parts.append(f"({chr(ord('a') + i)}) PRNG on, fixed plaintext #{i}:")
+            parts.append(tvla_panel(r))
+        parts.append(rule())
+        parts.append(
+            f"sanity (PRNG off leaks): {self.sanity_ok}   "
+            f"residual 1st-order leakage observed (coupling): "
+            f"{self.first_order_leakage_observed}"
+        )
+        return "\n".join(parts)
+
+
+def run(
+    n_traces: int = 60_000,
+    n_traces_off: int = 10_000,
+    batch_size: int = 4_000,
+    noise_sigma: float = 2.0,
+    coupling_coefficient: float = DEFAULT_COUPLING,
+    n_luts: int = 10,
+    seed: int = 0,
+) -> Fig17Result:
+    """Regenerate the Fig. 17 panels (scaled budgets)."""
+    engine = MaskedDESNetlistEngine("pd", n_luts=n_luts)
+
+    off_src = DESTraceSource(
+        engine,
+        FIXED_PLAINTEXTS[0],
+        KEY,
+        prng_enabled=False,
+        coupling_coefficient=coupling_coefficient,
+    )
+    detected, off_res = detect_leakage_traces(
+        off_src,
+        CampaignConfig(
+            n_traces=n_traces_off,
+            batch_size=batch_size,
+            noise_sigma=noise_sigma,
+            seed=seed + 99,
+            label="PD PRNG-off",
+        ),
+    )
+
+    def make_source(i: int) -> DESTraceSource:
+        return DESTraceSource(
+            engine,
+            FIXED_PLAINTEXTS[i],
+            KEY,
+            prng_enabled=True,
+            coupling_coefficient=coupling_coefficient,
+        )
+
+    on_res = run_multi_fixed(
+        make_source,
+        CampaignConfig(
+            n_traces=n_traces,
+            batch_size=batch_size,
+            noise_sigma=noise_sigma,
+            seed=seed,
+            label="PD PRNG-on",
+        ),
+        n_fixed=len(FIXED_PLAINTEXTS),
+    )
+    return Fig17Result(
+        prng_off_detected_at=detected,
+        prng_off=off_res,
+        prng_on=on_res,
+        coupling_coefficient=coupling_coefficient,
+    )

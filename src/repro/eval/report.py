@@ -1,0 +1,67 @@
+"""Plain-text rendering of experiment results.
+
+The paper's tables and figures are regenerated as text: tables as
+aligned rows, t-statistic curves and power traces as compact ASCII
+sparklines with the max-|t| annotation that matters for the pass/fail
+reading of Figs. 14–17.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+__all__ = ["render_table", "sparkline", "tvla_panel", "rule"]
+
+_SPARK = " .:-=+*#%@"
+
+
+def rule(width: int = 72) -> str:
+    return "-" * width
+
+
+def render_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Aligned text table."""
+    srows = [[str(c) for c in r] for r in rows]
+    widths = [len(h) for h in headers]
+    for r in srows:
+        for i, c in enumerate(r):
+            widths[i] = max(widths[i], len(c))
+    def fmt(cols: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cols, widths)).rstrip()
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(r) for r in srows)
+    return "\n".join(lines)
+
+
+def sparkline(values: np.ndarray, width: int = 64) -> str:
+    """Downsampled ASCII sparkline of a 1-D series."""
+    v = np.asarray(values, dtype=float)
+    if v.size == 0:
+        return ""
+    if v.size > width:
+        edges = np.linspace(0, v.size, width + 1).astype(int)
+        v = np.array([np.abs(v[a:b]).max() if b > a else 0.0
+                      for a, b in zip(edges[:-1], edges[1:])])
+    else:
+        v = np.abs(v)
+    top = v.max()
+    if top <= 0:
+        return _SPARK[0] * v.size
+    idx = np.minimum((v / top * (len(_SPARK) - 1)).astype(int), len(_SPARK) - 1)
+    return "".join(_SPARK[i] for i in idx)
+
+
+def tvla_panel(result, threshold: float = 4.5) -> str:
+    """Three-row panel (orders 1..3) like one subplot of Fig. 14/15/17."""
+    lines = [f"{result.label or 'TVLA'}  (n = {result.n_traces})"]
+    for order, t in ((1, result.t1), (2, result.t2), (3, result.t3)):
+        mx = float(np.max(np.abs(t))) if t.size else 0.0
+        mark = "LEAK" if mx > threshold else "ok  "
+        lines.append(
+            f"  t{order} |max|={mx:7.2f} [{mark}]  {sparkline(t)}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,127 @@
+"""Experiment: Table III — utilisation of the full DES implementations.
+
+Synthesises both masked DES engines (including the masked key schedule,
+as in the paper), counts GE / FF / LUT, runs static timing for the max
+frequency, and prints our numbers next to the paper's (and next to the
+DOM TDES rows of [17], which are published constants — we do not
+re-measure someone else's silicon).
+
+Absolute numbers differ from the paper (our cell library and LUT-packing
+model are representative, not ISE/DC), but the *shape* must hold:
+
+* the FF engine is compact, the PD engine is dominated by DelayUnits
+  (paper: 52273 GE total vs 12592 GE excluding delays);
+* randomness: 14 bits/round for both engines — far below DOM-indep
+  (176) and DOM-dep (528);
+* cycles/round: 7 (FF) vs 2 (PD) vs 5 (DOM);
+* max frequency: the PD engine is an order of magnitude slower.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..des.engines import MaskedDESNetlistEngine
+from ..des.masked_core import MaskedDES
+from ..netlist.area import report as area_report
+from .report import render_table, rule
+
+__all__ = ["Row", "Table3Result", "run", "PAPER_ROWS"]
+
+
+@dataclass(frozen=True)
+class Row:
+    """One utilisation row (Table III columns)."""
+
+    version: str
+    asic_ge: Optional[float]
+    asic_ge_no_delay: Optional[float]
+    ff: Optional[int]
+    lut: Optional[int]
+    rand_per_round: Optional[int]
+    cycles_per_round: Optional[int]
+    max_freq_mhz: Optional[float]
+    source: str = "measured"
+
+    def cells(self) -> List[str]:
+        def f(v, fmt="{:.0f}"):
+            return "-" if v is None else fmt.format(v)
+
+        return [
+            self.version,
+            f(self.asic_ge),
+            f(self.asic_ge_no_delay),
+            f"{f(self.ff)}/{f(self.lut)}",
+            f(self.rand_per_round),
+            f(self.cycles_per_round),
+            f(self.max_freq_mhz, "{:.0f}"),
+            self.source,
+        ]
+
+
+#: The published Table III rows (FPGA columns for the PD version are the
+#: paper's; DOM numbers from Sasdrich & Hutter [17], key schedule
+#: unmasked there, cycle count scaled from TDES to DES).
+PAPER_ROWS = [
+    Row("secAND2-FF", 15956, 15956, 819, 2129, 14, 7, 183, "paper"),
+    Row("secAND2-PD", 52273, 12592, None, None, 14, 2, 21, "paper"),
+    Row("DOM-indep [17]", 13800, 13800, None, None, 176, 5, None, "paper"),
+    Row("DOM-dep [17]", 22400, 22400, None, None, 528, 5, None, "paper"),
+]
+
+
+@dataclass
+class Table3Result:
+    measured: List[Row]
+    paper: List[Row]
+
+    def render(self) -> str:
+        headers = [
+            "version",
+            "GE",
+            "GE (no delay)",
+            "FF/LUT",
+            "rand/rnd",
+            "cyc/rnd",
+            "fmax MHz",
+            "source",
+        ]
+        rows = [r.cells() for r in self.measured] + [r.cells() for r in self.paper]
+        notes = (
+            f"\n{rule()}\n"
+            "Shape checks (paper vs measured):\n"
+            f"  PD delay-line area dominates: "
+            f"{self.measured[1].asic_ge_no_delay / self.measured[1].asic_ge:.0%} "
+            "of PD area is non-delay logic "
+            f"(paper: {12592 / 52273:.0%})\n"
+            f"  FF/PD frequency ratio: "
+            f"{self.measured[0].max_freq_mhz / self.measured[1].max_freq_mhz:.1f}x "
+            f"(paper: {183 / 21:.1f}x)\n"
+            "  randomness 14 bits/round for both engines, "
+            "vs 176 (DOM-indep) and 528 (DOM-dep)"
+        )
+        return render_table(headers, rows) + notes
+
+
+def measure_engine(variant: str, n_luts: int = 10) -> Row:
+    """Build one engine and extract its utilisation row."""
+    eng = MaskedDESNetlistEngine(variant, n_luts=n_luts)
+    rep = area_report(eng.circuit)
+    model = MaskedDES(variant)
+    return Row(
+        version=f"secAND2-{variant.upper()}",
+        asic_ge=rep.area_ge,
+        asic_ge_no_delay=rep.area_ge_no_delay,
+        ff=rep.n_ff,
+        lut=rep.n_lut,
+        rand_per_round=model.random_bits_per_round,
+        cycles_per_round=model.cycles_per_round,
+        max_freq_mhz=eng.timing.max_freq_mhz,
+    )
+
+
+def run(n_luts: int = 10) -> Table3Result:
+    """Regenerate Table III for both engines."""
+    measured = [measure_engine("ff"), measure_engine("pd", n_luts=n_luts)]
+    return Table3Result(measured=measured, paper=PAPER_ROWS)

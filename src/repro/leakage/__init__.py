@@ -1,0 +1,28 @@
+"""Side-channel leakage assessment: TVLA, acquisition harness, SNR, PRNG."""
+
+from .tvla import (
+    THRESHOLD,
+    TTestAccumulator,
+    TvlaResult,
+    consistent_leakage,
+    threshold_crossings,
+    welch_t,
+)
+from .acquisition import CampaignConfig, TraceSource, run_campaign, run_multi_fixed
+from .snr import snr
+from .prng import RandomnessSource
+
+__all__ = [
+    "THRESHOLD",
+    "TTestAccumulator",
+    "TvlaResult",
+    "consistent_leakage",
+    "threshold_crossings",
+    "welch_t",
+    "CampaignConfig",
+    "TraceSource",
+    "run_campaign",
+    "run_multi_fixed",
+    "snr",
+    "RandomnessSource",
+]

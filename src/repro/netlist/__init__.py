@@ -1,0 +1,48 @@
+"""Gate-level netlist substrate: cells, circuit graph, timing, area.
+
+This package stands in for the paper's synthesis targets (NanGate 45nm
+ASIC flow and Spartan-6 FPGA): it provides the structural representation
+on which the glitch simulator, the timing analysis and the utilisation
+reports of Table III operate.
+"""
+
+from .cells import (
+    CELL_LIBRARY,
+    CellType,
+    DELAY_UNIT_DEFAULT_LUTS,
+    cell,
+    delay_unit_area_ge,
+    delay_unit_delay_ps,
+    is_sequential,
+)
+from .circuit import Circuit, CircuitError, Gate
+from .timing import TimingReport, analyze, arrival_times, critical_path
+from .area import UtilizationReport, area_ge, fpga_utilization, report
+from .safety import OrderingViolation, check_secand2_ordering, count_violations
+from .verilog import sanitize_identifier, to_verilog
+
+__all__ = [
+    "CELL_LIBRARY",
+    "CellType",
+    "DELAY_UNIT_DEFAULT_LUTS",
+    "cell",
+    "delay_unit_area_ge",
+    "delay_unit_delay_ps",
+    "is_sequential",
+    "Circuit",
+    "CircuitError",
+    "Gate",
+    "TimingReport",
+    "analyze",
+    "arrival_times",
+    "critical_path",
+    "UtilizationReport",
+    "area_ge",
+    "fpga_utilization",
+    "report",
+    "OrderingViolation",
+    "check_secand2_ordering",
+    "count_violations",
+    "sanitize_identifier",
+    "to_verilog",
+]

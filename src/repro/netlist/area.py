@@ -1,0 +1,103 @@
+"""Area and utilisation accounting (Table III quantities).
+
+Two views of the same netlist:
+
+* **ASIC**: gate equivalents (GE, NAND2-normalised), as the paper reports
+  for the NanGate 45nm library.  DELAY instances carry the
+  inverter-chain GE estimate of Sec. VI-B (120 INVs per 10-LUT
+  DelayUnit).
+* **FPGA**: flip-flop and LUT counts, as reported for Spartan-6.  We use
+  a simple technology-mapping estimate: LUT6s are packed greedily along
+  the topological order with a configurable fanin budget, and DELAY
+  instances consume exactly their chain length in LUTs (they must not be
+  packed — the paper places them manually to keep the delay replicable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+from typing import Dict
+
+from .circuit import Circuit
+
+__all__ = ["UtilizationReport", "area_ge", "fpga_utilization", "report"]
+
+#: Data inputs a single FPGA LUT can absorb (LUT6 fabric).
+LUT_INPUTS = 6
+
+#: Average logic cells packed per LUT in practice (routing/packing
+#: losses); calibrated so small gadget circuits map 1 LUT ~ 2.5 cells.
+CELLS_PER_LUT = 2.5
+
+
+@dataclass(frozen=True)
+class UtilizationReport:
+    """Utilisation summary for one design (one row of Table III)."""
+
+    name: str
+    area_ge: float
+    area_ge_no_delay: float
+    n_ff: int
+    n_lut: int
+    n_lut_delay: int
+    cell_counts: Dict[str, int]
+
+    def row(self) -> str:
+        return (
+            f"{self.name:<24} {self.area_ge:>9.0f} GE "
+            f"(excl. delay: {self.area_ge_no_delay:>7.0f}) "
+            f"{self.n_ff:>5} FF / {self.n_lut:>5} LUT"
+        )
+
+
+def area_ge(circuit: Circuit, include_delay: bool = True) -> float:
+    """Total GE area; ``include_delay=False`` excludes DELAY chains.
+
+    The paper quotes both numbers for the PD design: 52273 GE including
+    DelayUnits and 12592 GE for the remaining circuit.
+    """
+    total = 0.0
+    for g in circuit.gates:
+        if not include_delay and g.cell.name == "DELAY":
+            continue
+        total += g.area_ge
+    return total
+
+
+def fpga_utilization(circuit: Circuit) -> Dict[str, int]:
+    """Estimate Spartan-6-style FF / LUT counts.
+
+    Returns a dict with ``ff``, ``lut_logic``, ``lut_delay`` and ``lut``
+    (= logic + delay).
+    """
+    n_ff = sum(1 for g in circuit.gates if g.is_ff)
+    n_logic_cells = sum(
+        1 for g in circuit.gates if not g.is_ff and g.cell.name != "DELAY"
+    )
+    lut_delay = sum(
+        int(g.params.get("n_units", 1)) * int(g.params.get("n_luts", 1))
+        for g in circuit.gates
+        if g.cell.name == "DELAY"
+    )
+    lut_logic = ceil(n_logic_cells / CELLS_PER_LUT)
+    return {
+        "ff": n_ff,
+        "lut_logic": lut_logic,
+        "lut_delay": lut_delay,
+        "lut": lut_logic + lut_delay,
+    }
+
+
+def report(circuit: Circuit) -> UtilizationReport:
+    """Build the full utilisation report for a circuit."""
+    fpga = fpga_utilization(circuit)
+    return UtilizationReport(
+        name=circuit.name,
+        area_ge=area_ge(circuit, include_delay=True),
+        area_ge_no_delay=area_ge(circuit, include_delay=False),
+        n_ff=fpga["ff"],
+        n_lut=fpga["lut"],
+        n_lut_delay=fpga["lut_delay"],
+        cell_counts=circuit.cell_counts(),
+    )

@@ -1,0 +1,235 @@
+"""Standard-cell library for the gate-level substrate.
+
+The paper evaluates its designs both on ASIC (NanGate 45nm open cell
+library, Synopsys DC) and on FPGA (Spartan-6, Xilinx ISE).  We model a
+small but sufficient cell library:
+
+* combinational cells (INV, BUF, AND2, OR2, XOR2, ... , MUX2) with a
+  propagation delay in picoseconds and an area in gate equivalents (GE,
+  normalised to a NAND2),
+* sequential cells (DFF, DFFE: D flip-flop with clock enable) whose
+  behaviour is driven by :mod:`repro.sim.clocking`,
+* a parameterisable DELAY cell which models the paper's *DelayUnit*
+  (a chain of LUT buffers on FPGA, a chain of inverters on ASIC,
+  Sec. V / Fig. 10).
+
+Delays are representative rather than sign-off accurate: what matters
+for reproducing the paper is the *relative* order in which signals
+arrive at gate inputs, which is what creates or suppresses glitches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+__all__ = [
+    "CellType",
+    "CELL_LIBRARY",
+    "cell",
+    "is_sequential",
+    "LUT_DELAY_PS",
+    "INV_DELAY_PS",
+    "DELAY_UNIT_DEFAULT_LUTS",
+    "DELAY_UNIT_ASIC_INVERTERS",
+    "GE_PER_LUT_BUFFER",
+    "delay_unit_delay_ps",
+    "delay_unit_area_ge",
+]
+
+# Per-LUT buffer delay on the FPGA fabric (LUT + local routing).  The
+# paper's DelayUnit chains several LUTs placed in consecutive slices
+# (Fig. 10); 10 LUTs was found optimal (Sec. VII-B).
+LUT_DELAY_PS = 250
+
+# NanGate-45nm-like inverter delay; the ASIC DelayUnit estimate in
+# Sec. VI-B uses chains of inverters (120 per DelayUnit).
+INV_DELAY_PS = 12
+
+#: DelayUnit size (in LUTs) the paper found optimal on Spartan-6.
+DELAY_UNIT_DEFAULT_LUTS = 10
+
+#: Inverters per DelayUnit used for the paper's ASIC area estimate.
+DELAY_UNIT_ASIC_INVERTERS = 120
+
+#: GE charged per LUT configured as a route-through buffer when
+#: estimating ASIC-equivalent area of FPGA delay lines.
+GE_PER_LUT_BUFFER = 2.0
+
+
+def _eval_inv(a: np.ndarray) -> np.ndarray:
+    return ~a
+
+
+def _eval_buf(a: np.ndarray) -> np.ndarray:
+    return a
+
+
+def _eval_and2(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return a & b
+
+
+def _eval_or2(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return a | b
+
+
+def _eval_xor2(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return a ^ b
+
+
+def _eval_xnor2(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return ~(a ^ b)
+
+
+def _eval_nand2(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return ~(a & b)
+
+
+def _eval_nor2(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return ~(a | b)
+
+
+def _eval_andn2(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    # a AND (NOT b); used for the MUX select products x0*!x5 etc. (Eq. 4)
+    return a & ~b
+
+
+def _eval_orn2(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    # a OR (NOT b); secAND2 computes x + !y1 (Eq. 2)
+    return a | ~b
+
+
+def _eval_mux2(sel: np.ndarray, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    # sel ? b : a
+    return (a & ~sel) | (b & sel)
+
+
+def _eval_trichina_l(
+    r: np.ndarray,
+    x0: np.ndarray,
+    x1: np.ndarray,
+    y0: np.ndarray,
+    y1: np.ndarray,
+) -> np.ndarray:
+    # Trichina's masked share z0 (Eq. 1) as a single LUT5.  Mapped into
+    # one LUT, the output transitions atomically — and the Hamming
+    # distance on a late x-share arrival is x.(y0^y1), the unmasked y:
+    # this is why classical Boolean masking leaks in glitchy hardware
+    # no matter when the fresh bit arrives.
+    return r ^ (x0 & y0) ^ (x0 & y1) ^ (x1 & y1) ^ (x1 & y0)
+
+
+def _eval_secand2l(x: np.ndarray, y0: np.ndarray, y1: np.ndarray) -> np.ndarray:
+    # one output share of secAND2 (Eq. 2) as a single LUT:
+    #   z = (x . y0) XOR (x + !y1)
+    # On the FPGA each output of the gadget maps into one LUT
+    # (Sec. II-A: "programming the equations for the outputs of secAND2
+    # directly into LUTs"), so the output transitions *atomically* —
+    # one toggle whose Hamming distance combines all input changes.
+    # That atomicity is what makes late arrival of an x share leak
+    # y0 ^ y1 (Table I).
+    return (x & y0) ^ (x | ~y1)
+
+
+@dataclass(frozen=True)
+class CellType:
+    """A cell in the library.
+
+    Attributes:
+        name: Library name (e.g. ``"XOR2"``).
+        n_inputs: Number of data inputs (clock/reset of FFs excluded).
+        delay_ps: Default propagation delay, picoseconds.
+        area_ge: Area in gate equivalents (NAND2 = 1.0).
+        evaluate: Vectorised boolean function over numpy arrays, or
+            ``None`` for sequential cells (evaluated by the clocking
+            driver, not combinationally).
+        sequential: True for flip-flops.
+    """
+
+    name: str
+    n_inputs: int
+    delay_ps: int
+    area_ge: float
+    evaluate: Callable[..., np.ndarray] | None
+    sequential: bool = False
+
+
+# Areas follow typical NanGate 45nm GE figures; delays are representative
+# gate delays chosen so that multi-level paths separate cleanly in the
+# event-driven simulator.
+CELL_LIBRARY: Dict[str, CellType] = {
+    "INV": CellType("INV", 1, INV_DELAY_PS, 0.67, _eval_inv),
+    "BUF": CellType("BUF", 1, 2 * INV_DELAY_PS, 1.0, _eval_buf),
+    "AND2": CellType("AND2", 2, 20, 1.33, _eval_and2),
+    "OR2": CellType("OR2", 2, 20, 1.33, _eval_or2),
+    "XOR2": CellType("XOR2", 2, 30, 2.0, _eval_xor2),
+    "XNOR2": CellType("XNOR2", 2, 30, 2.0, _eval_xnor2),
+    "NAND2": CellType("NAND2", 2, 15, 1.0, _eval_nand2),
+    "NOR2": CellType("NOR2", 2, 15, 1.0, _eval_nor2),
+    # Compound cells (AND/OR with one inverted input) exist in real
+    # libraries (AOI-style); they keep the secAND2 netlist a faithful
+    # 1:1 image of Fig. 1 without separate INV instances when desired.
+    "ANDN2": CellType("ANDN2", 2, 22, 1.5, _eval_andn2),
+    "ORN2": CellType("ORN2", 2, 22, 1.5, _eval_orn2),
+    "MUX2": CellType("MUX2", 3, 25, 2.33, _eval_mux2),
+    # One secAND2 output share as a single LUT (see _eval_secand2l).
+    # Area charged as the discrete equivalent (AND2 + OR2 + XOR2 + half
+    # of the shared INV) so gadget-level GE match the ASIC mapping.
+    "SECAND2L": CellType("SECAND2L", 3, 35, 5.0, _eval_secand2l),
+    # Trichina z0 as one LUT5 (area = 4 AND2 + 4 XOR2 discrete equiv.)
+    "TRICHINA_L": CellType("TRICHINA_L", 5, 40, 13.3, _eval_trichina_l),
+    # DELAY: a chain of buffer elements (LUTs on FPGA, inverter pairs on
+    # ASIC).  Instances override delay_ps/area via Gate.params.
+    "DELAY": CellType("DELAY", 1, LUT_DELAY_PS, GE_PER_LUT_BUFFER, _eval_buf),
+    # Sequential cells.  `n_inputs` counts data pins the netlist wires
+    # up: D for DFF; D and EN for DFFE.  Reset is a simulation-level
+    # control (the paper resets secAND2-FF inputs between evaluations).
+    "DFF": CellType("DFF", 1, 50, 4.5, None, sequential=True),
+    "DFFE": CellType("DFFE", 2, 50, 5.33, None, sequential=True),
+}
+
+
+def cell(name: str) -> CellType:
+    """Look up a cell type by name.
+
+    Raises:
+        KeyError: if the cell is not in the library.
+    """
+    try:
+        return CELL_LIBRARY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown cell {name!r}; available: {sorted(CELL_LIBRARY)}"
+        ) from None
+
+
+def is_sequential(name: str) -> bool:
+    """True if the named cell is a flip-flop."""
+    return cell(name).sequential
+
+
+def delay_unit_delay_ps(n_luts: int = DELAY_UNIT_DEFAULT_LUTS) -> int:
+    """Propagation delay of a DelayUnit built from ``n_luts`` chained LUTs.
+
+    Sec. V: LUTs wired as buffers and placed in consecutive slices give a
+    replicable, quantifiable delay; the delay scales linearly in chain
+    length.
+    """
+    if n_luts < 1:
+        raise ValueError("a DelayUnit needs at least one LUT")
+    return n_luts * LUT_DELAY_PS
+
+
+def delay_unit_area_ge(n_luts: int = DELAY_UNIT_DEFAULT_LUTS) -> float:
+    """ASIC-equivalent GE area of a DelayUnit of ``n_luts`` LUTs.
+
+    The paper estimates the ASIC DelayUnit as 120 inverters (Sec. VI-B);
+    we charge GE proportionally to chain length so that the 10-LUT
+    DelayUnit costs 120 inverter-equivalents.
+    """
+    if n_luts < 1:
+        raise ValueError("a DelayUnit needs at least one LUT")
+    inverters = DELAY_UNIT_ASIC_INVERTERS * n_luts / DELAY_UNIT_DEFAULT_LUTS
+    return inverters * CELL_LIBRARY["INV"].area_ge

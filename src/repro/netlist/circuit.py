@@ -1,0 +1,408 @@
+"""Gate-level circuit graph.
+
+A :class:`Circuit` is a flat netlist of library cells connected by
+wires.  It is the common representation consumed by:
+
+* the event-driven glitch simulators (:mod:`repro.sim`),
+* static timing analysis (:mod:`repro.netlist.timing`),
+* area/utilisation accounting (:mod:`repro.netlist.area`).
+
+Wires are integer ids with human-readable names.  Hierarchy is
+expressed through name prefixes only (the paper synthesises with
+"Keep Hierarchy" to stop the tools optimising across gadget
+boundaries; our builder mirrors that by never merging or rewriting
+gates).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .cells import CellType, cell, delay_unit_area_ge, delay_unit_delay_ps
+
+__all__ = ["Gate", "Circuit", "CircuitError"]
+
+
+class CircuitError(ValueError):
+    """Raised for structural problems: double drivers, loops, bad pins."""
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One instantiated cell.
+
+    Attributes:
+        name: Instance name (unique within the circuit).
+        cell: Library cell type.
+        inputs: Driven input wire ids, in pin order.  For ``DFFE`` the
+            order is ``(D, EN)``.
+        output: Output wire id.
+        delay_ps: Effective propagation delay (instance override of the
+            library default; used by DELAY chains).  May be fractional
+            when routing jitter is enabled.
+        area_ge: Effective area (instance override, same reason).
+        params: Free-form instance parameters (e.g. ``n_luts`` of a
+            DelayUnit).
+    """
+
+    name: str
+    cell: CellType
+    inputs: Tuple[int, ...]
+    output: int
+    delay_ps: float
+    area_ge: float
+    params: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def is_ff(self) -> bool:
+        return self.cell.sequential
+
+
+class Circuit:
+    """A mutable flat netlist with a builder API.
+
+    Typical use::
+
+        c = Circuit("secAND2")
+        x0, y0 = c.add_inputs("x0", "y0")
+        z = c.xor2(c.and2(x0, y0), c.orn2(x0, y0))
+        c.mark_output("z", z)
+        c.check()
+    """
+
+    def __init__(self, name: str = "top"):
+        self.name = name
+        self._wire_names: List[str] = []
+        self._wire_ids: Dict[str, int] = {}
+        self.gates: List[Gate] = []
+        self._driver: Dict[int, int] = {}  # wire id -> gate index
+        self.inputs: List[int] = []
+        self.outputs: Dict[str, int] = {}
+        self._prefix: str = ""
+        self._auto_n = 0
+        self._order_cache: Optional[List[int]] = None
+        #: Free-form builder annotations (e.g. the list of secAND2 core
+        #: instances with their operand wires, used by the static
+        #: arrival-order safety checker in repro.netlist.safety).
+        self.annotations: Dict[str, list] = {}
+        self._jitter_rng = None
+        self._jitter_gate_ps = 0.0
+        self._jitter_delay_ps = 0.0
+
+    # ------------------------------------------------------------------
+    # wires
+    # ------------------------------------------------------------------
+    @property
+    def n_wires(self) -> int:
+        return len(self._wire_names)
+
+    def wire_name(self, wire: int) -> str:
+        return self._wire_names[wire]
+
+    def wire(self, name: str) -> int:
+        """Id of an existing wire by full (prefixed) name."""
+        return self._wire_ids[name]
+
+    def add_wire(self, name: Optional[str] = None) -> int:
+        """Create a new wire; auto-names anonymous nets ``_n<k>``."""
+        if name is None:
+            name = f"_n{self._auto_n}"
+            self._auto_n += 1
+        full = self._prefix + name
+        if full in self._wire_ids:
+            raise CircuitError(f"wire {full!r} already exists")
+        wid = len(self._wire_names)
+        self._wire_names.append(full)
+        self._wire_ids[full] = wid
+        return wid
+
+    def add_input(self, name: str) -> int:
+        """Create a primary input wire."""
+        wid = self.add_wire(name)
+        self.inputs.append(wid)
+        return wid
+
+    def add_inputs(self, *names: str) -> List[int]:
+        return [self.add_input(n) for n in names]
+
+    def mark_output(self, name: str, wire: int) -> None:
+        """Expose ``wire`` as the primary output ``name``."""
+        if name in self.outputs:
+            raise CircuitError(f"output {name!r} already declared")
+        self.outputs[name] = wire
+
+    def enable_routing_jitter(
+        self,
+        seed: int,
+        gate_sigma_ps: float = 30.0,
+        delay_sigma_ps: float = 400.0,
+    ) -> None:
+        """Model placement-dependent routing delay.
+
+        Every gate added *after* this call receives a deterministic
+        extra delay ``|N(0, sigma)|`` — larger for DELAY lines (long
+        routes) than for logic cells.  This is the physical reason the
+        paper must size its DelayUnits (Sec. V / VII-B): the staggered
+        arrival order only holds if the DelayUnit exceeds the routing
+        skew.  The jitter is fixed per instance (placement is static),
+        so a given build either has order-violating sites or it does
+        not — exactly like a given bitstream.
+        """
+        import numpy as _np
+
+        self._jitter_rng = _np.random.default_rng(seed)
+        self._jitter_gate_ps = float(gate_sigma_ps)
+        self._jitter_delay_ps = float(delay_sigma_ps)
+
+    def _routing_extra_ps(self, cell_name: str) -> float:
+        if self._jitter_rng is None:
+            return 0.0
+        sigma = (
+            self._jitter_delay_ps if cell_name == "DELAY" else self._jitter_gate_ps
+        )
+        if sigma <= 0:
+            return 0.0
+        # Continuous (float-ps) jitter: two independent routes never
+        # arrive at the *exact* same instant, just like on real fabric.
+        return float(abs(self._jitter_rng.normal(0.0, sigma)))
+
+    @contextmanager
+    def scope(self, prefix: str) -> Iterator[None]:
+        """Name-prefix scope for building sub-blocks (hierarchy by name)."""
+        old = self._prefix
+        self._prefix = old + prefix + "."
+        try:
+            yield
+        finally:
+            self._prefix = old
+
+    # ------------------------------------------------------------------
+    # gates
+    # ------------------------------------------------------------------
+    def add_gate(
+        self,
+        cell_name: str,
+        inputs: Sequence[int],
+        output: Optional[int] = None,
+        *,
+        name: Optional[str] = None,
+        delay_ps: Optional[int] = None,
+        area_ge: Optional[float] = None,
+        **params: object,
+    ) -> int:
+        """Instantiate a cell; returns the output wire id."""
+        ct = cell(cell_name)
+        if len(inputs) != ct.n_inputs:
+            raise CircuitError(
+                f"{cell_name} expects {ct.n_inputs} inputs, got {len(inputs)}"
+            )
+        for w in inputs:
+            if not 0 <= w < self.n_wires:
+                raise CircuitError(f"input wire id {w} does not exist")
+        if output is None:
+            output = self.add_wire(None if name is None else name + "_o")
+        if output in self._driver:
+            raise CircuitError(
+                f"wire {self.wire_name(output)!r} already driven by "
+                f"{self.gates[self._driver[output]].name!r}"
+            )
+        if output in self.inputs:
+            raise CircuitError(
+                f"cannot drive primary input {self.wire_name(output)!r}"
+            )
+        gname = self._prefix + (name if name is not None else f"g{len(self.gates)}")
+        base_delay = ct.delay_ps if delay_ps is None else delay_ps
+        if not ct.sequential:
+            base_delay += self._routing_extra_ps(ct.name)
+        gate = Gate(
+            name=gname,
+            cell=ct,
+            inputs=tuple(inputs),
+            output=output,
+            delay_ps=base_delay,
+            area_ge=ct.area_ge if area_ge is None else area_ge,
+            params=dict(params),
+        )
+        self._driver[output] = len(self.gates)
+        self.gates.append(gate)
+        self._order_cache = None
+        return output
+
+    # -- combinational conveniences ------------------------------------
+    def inv(self, a: int, name: Optional[str] = None) -> int:
+        return self.add_gate("INV", [a], name=name)
+
+    def buf(self, a: int, name: Optional[str] = None) -> int:
+        return self.add_gate("BUF", [a], name=name)
+
+    def and2(self, a: int, b: int, name: Optional[str] = None) -> int:
+        return self.add_gate("AND2", [a, b], name=name)
+
+    def or2(self, a: int, b: int, name: Optional[str] = None) -> int:
+        return self.add_gate("OR2", [a, b], name=name)
+
+    def xor2(self, a: int, b: int, name: Optional[str] = None) -> int:
+        return self.add_gate("XOR2", [a, b], name=name)
+
+    def xnor2(self, a: int, b: int, name: Optional[str] = None) -> int:
+        return self.add_gate("XNOR2", [a, b], name=name)
+
+    def nand2(self, a: int, b: int, name: Optional[str] = None) -> int:
+        return self.add_gate("NAND2", [a, b], name=name)
+
+    def nor2(self, a: int, b: int, name: Optional[str] = None) -> int:
+        return self.add_gate("NOR2", [a, b], name=name)
+
+    def andn2(self, a: int, b: int, name: Optional[str] = None) -> int:
+        """a AND (NOT b)."""
+        return self.add_gate("ANDN2", [a, b], name=name)
+
+    def orn2(self, a: int, b: int, name: Optional[str] = None) -> int:
+        """a OR (NOT b) — the `x + !y1` term of secAND2 (Eq. 2)."""
+        return self.add_gate("ORN2", [a, b], name=name)
+
+    def mux2(self, sel: int, a: int, b: int, name: Optional[str] = None) -> int:
+        """sel ? b : a."""
+        return self.add_gate("MUX2", [sel, a, b], name=name)
+
+    def xor_tree(self, wires: Sequence[int], name: Optional[str] = None) -> int:
+        """Balanced XOR reduction of one or more wires."""
+        if not wires:
+            raise CircuitError("xor_tree needs at least one wire")
+        level = list(wires)
+        while len(level) > 1:
+            nxt = []
+            for i in range(0, len(level) - 1, 2):
+                nxt.append(self.xor2(level[i], level[i + 1]))
+            if len(level) % 2:
+                nxt.append(level[-1])
+            level = nxt
+        return level[0]
+
+    # -- sequential / delay conveniences --------------------------------
+    def dff(self, d: int, name: Optional[str] = None, **params: object) -> int:
+        """D flip-flop sampling every clock edge."""
+        return self.add_gate("DFF", [d], name=name, **params)
+
+    def dffe(
+        self, d: int, en: int, name: Optional[str] = None, **params: object
+    ) -> int:
+        """D flip-flop with clock enable (samples only when EN is high).
+
+        Pass ``reset_group="..."`` to make the FF member of a named
+        synchronous-reset group (see ClockedHarness.step).
+        """
+        return self.add_gate("DFFE", [d, en], name=name, **params)
+
+    def delay_line(
+        self, a: int, n_units: int, n_luts: int, name: Optional[str] = None
+    ) -> int:
+        """``n_units`` stacked DelayUnits of ``n_luts`` chained LUTs each.
+
+        This is the paper's path-delay element (Sec. V, Fig. 10): the
+        signal is buffered through a deterministic LUT chain so it
+        arrives ``n_units * n_luts * LUT_DELAY_PS`` later.  ``n_units``
+        of zero is legal and returns the input unchanged (an undelayed
+        input such as ``y0`` in Fig. 3).
+        """
+        if n_units < 0:
+            raise CircuitError("n_units must be >= 0")
+        if n_units == 0:
+            return a
+        return self.add_gate(
+            "DELAY",
+            [a],
+            name=name,
+            delay_ps=n_units * delay_unit_delay_ps(n_luts),
+            area_ge=n_units * delay_unit_area_ge(n_luts),
+            n_units=n_units,
+            n_luts=n_luts,
+        )
+
+    # ------------------------------------------------------------------
+    # structure queries
+    # ------------------------------------------------------------------
+    def driver_of(self, wire: int) -> Optional[Gate]:
+        idx = self._driver.get(wire)
+        return None if idx is None else self.gates[idx]
+
+    def fanout_map(self) -> Dict[int, List[int]]:
+        """wire id -> indices of gates reading it."""
+        fo: Dict[int, List[int]] = {}
+        for gi, g in enumerate(self.gates):
+            for w in g.inputs:
+                fo.setdefault(w, []).append(gi)
+        return fo
+
+    def ff_gates(self) -> List[Gate]:
+        return [g for g in self.gates if g.is_ff]
+
+    def comb_gates(self) -> List[Gate]:
+        return [g for g in self.gates if not g.is_ff]
+
+    def cell_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for g in self.gates:
+            counts[g.cell.name] = counts.get(g.cell.name, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def comb_order(self) -> List[int]:
+        """Topological order of combinational gate indices.
+
+        Sources are primary inputs and FF outputs; FF D/EN pins are
+        sinks.  Raises :class:`CircuitError` on combinational loops.
+        """
+        if self._order_cache is not None:
+            return self._order_cache
+        indeg: Dict[int, int] = {}
+        dependents: Dict[int, List[int]] = {}
+        comb = [gi for gi, g in enumerate(self.gates) if not g.is_ff]
+        for gi in comb:
+            g = self.gates[gi]
+            deg = 0
+            for w in g.inputs:
+                drv = self._driver.get(w)
+                if drv is not None and not self.gates[drv].is_ff:
+                    deg += 1
+                    dependents.setdefault(drv, []).append(gi)
+            indeg[gi] = deg
+        ready = [gi for gi in comb if indeg[gi] == 0]
+        order: List[int] = []
+        while ready:
+            gi = ready.pop()
+            order.append(gi)
+            for dep in dependents.get(gi, ()):
+                indeg[dep] -= 1
+                if indeg[dep] == 0:
+                    ready.append(dep)
+        if len(order) != len(comb):
+            stuck = [self.gates[gi].name for gi in comb if indeg[gi] > 0]
+            raise CircuitError(f"combinational loop through: {stuck[:8]}")
+        self._order_cache = order
+        return order
+
+    def check(self) -> None:
+        """Validate structure: no loops, no floating output/pin wires."""
+        self.comb_order()
+        driven = set(self._driver) | set(self.inputs)
+        for g in self.gates:
+            for w in g.inputs:
+                if w not in driven:
+                    raise CircuitError(
+                        f"gate {g.name!r} reads undriven wire "
+                        f"{self.wire_name(w)!r}"
+                    )
+        for name, w in self.outputs.items():
+            if w not in driven:
+                raise CircuitError(f"output {name!r} is undriven")
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        nff = sum(1 for g in self.gates if g.is_ff)
+        return (
+            f"Circuit({self.name!r}: {self.n_wires} wires, "
+            f"{len(self.gates)} gates ({nff} FFs), "
+            f"{len(self.inputs)} inputs, {len(self.outputs)} outputs)"
+        )

@@ -1,0 +1,106 @@
+"""Static arrival-order safety checker for secAND2 gadgets.
+
+The whole security argument of the PD construction is temporal: at each
+secAND2 core, ``y0`` must arrive no later than the ``x`` shares, and
+``y1`` must arrive strictly after them (Table I / Sec. II-D).  Whether
+that holds on a concrete netlist depends on the DelayUnit size *and*
+the routing skew — exactly what the paper's Sec. VII-B sweep probes
+experimentally.
+
+This module checks the property *statically*: it runs arrival-time
+analysis over the (jittered) netlist and reports every gadget whose
+operand ordering is violated or has less margin than requested.  The
+number of violating sites predicts the Fig. 15 leakage trend: many
+violations at a 1-LUT DelayUnit, none at 10 LUTs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from .circuit import Circuit
+from .timing import arrival_times
+
+__all__ = ["OrderingViolation", "check_secand2_ordering", "count_violations"]
+
+
+@dataclass(frozen=True)
+class OrderingViolation:
+    """One secAND2 core whose arrival order is unsafe.
+
+    ``kind`` is ``"y1-not-last"`` (an x share arrives at or after y1 —
+    the Table I leak condition) or ``"y0-not-first"`` (y0 arrives after
+    an x share — unsafe for back-to-back evaluation without reset).
+    """
+
+    gadget: str
+    kind: str
+    margin_ps: int
+    at_x0: int
+    at_x1: int
+    at_y0: int
+    at_y1: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.gadget}: {self.kind} (margin {self.margin_ps} ps; "
+            f"x0@{self.at_x0} x1@{self.at_x1} y0@{self.at_y0} y1@{self.at_y1})"
+        )
+
+
+def check_secand2_ordering(
+    circuit: Circuit,
+    min_margin_ps: int = 0,
+    check_y0_first: bool = True,
+) -> List[OrderingViolation]:
+    """Check every annotated secAND2 core's arrival order.
+
+    Args:
+        circuit: Netlist whose builders registered ``secand2``
+            annotations (all builders in this library do).
+        min_margin_ps: Require y1 to trail the x shares by at least this
+            margin (0 = strict ordering only).
+        check_y0_first: Also flag gadgets where ``y0`` arrives after an
+            ``x`` share (only matters for designs evaluated
+            back-to-back without reset, i.e. the PD style).
+
+    Returns:
+        All violations found (empty list = statically safe).
+    """
+    gadgets = circuit.annotations.get("secand2", [])
+    at = arrival_times(circuit)
+    violations: List[OrderingViolation] = []
+    for g in gadgets:
+        ax0 = at.get(g["x0"], 0)
+        ax1 = at.get(g["x1"], 0)
+        ay0 = at.get(g["y0"], 0)
+        ay1 = at.get(g["y1"], 0)
+        x_last = max(ax0, ax1)
+        if ay1 - x_last < max(1, min_margin_ps):
+            violations.append(
+                OrderingViolation(
+                    g["tag"], "y1-not-last", ay1 - x_last, ax0, ax1, ay0, ay1
+                )
+            )
+        if check_y0_first and ay0 > min(ax0, ax1):
+            violations.append(
+                OrderingViolation(
+                    g["tag"],
+                    "y0-not-first",
+                    min(ax0, ax1) - ay0,
+                    ax0,
+                    ax1,
+                    ay0,
+                    ay1,
+                )
+            )
+    return violations
+
+
+def count_violations(circuit: Circuit, min_margin_ps: int = 0) -> Dict[str, int]:
+    """Violation counts by kind (summary for the Fig. 15 sweep)."""
+    out = {"y1-not-last": 0, "y0-not-first": 0}
+    for v in check_secand2_ordering(circuit, min_margin_ps=min_margin_ps):
+        out[v.kind] += 1
+    return out

@@ -1,0 +1,123 @@
+"""Static timing analysis over a :class:`~repro.netlist.circuit.Circuit`.
+
+The paper reports maximum operating frequencies from the Xilinx ISE
+timing report (Table III): 183 MHz for the secAND2-FF DES and 21 MHz for
+the secAND2-PD DES — the huge gap is the point, caused by the stacked
+DelayUnits sitting on the S-box critical path.  This module computes the
+same quantity over our netlists: longest register-to-register (or
+input-to-register) combinational path, including instance-level DELAY
+overrides, plus FF clock-to-q and setup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .cells import cell
+from .circuit import Circuit, Gate
+
+__all__ = ["TimingReport", "arrival_times", "critical_path", "analyze"]
+
+#: FF timing parameters (ps) used for period computation.
+CLK_TO_Q_PS = 50
+SETUP_PS = 40
+
+
+@dataclass(frozen=True)
+class TimingReport:
+    """Result of :func:`analyze`.
+
+    Attributes:
+        critical_path_ps: Longest combinational delay (launch clk-to-q
+            and capture setup included).
+        max_freq_mhz: ``1e6 / critical_path_ps``.
+        path: Gate instance names along the critical path, source first.
+        start_wire / end_wire: Wire names bounding the path.
+    """
+
+    critical_path_ps: int
+    max_freq_mhz: float
+    path: Tuple[str, ...]
+    start_wire: str
+    end_wire: str
+
+    def __str__(self) -> str:
+        chain = " -> ".join(self.path) if self.path else "(direct)"
+        return (
+            f"critical path {self.critical_path_ps} ps "
+            f"({self.max_freq_mhz:.1f} MHz): "
+            f"{self.start_wire} -> {chain} -> {self.end_wire}"
+        )
+
+
+def arrival_times(
+    circuit: Circuit, input_arrivals: Optional[Dict[int, int]] = None
+) -> Dict[int, int]:
+    """Latest arrival time (ps) of every wire.
+
+    Sources: primary inputs arrive at ``input_arrivals`` (default 0);
+    FF outputs arrive at ``CLK_TO_Q_PS`` after the clock edge.
+    """
+    at: Dict[int, int] = {}
+    for w in circuit.inputs:
+        at[w] = 0
+    if input_arrivals:
+        at.update(input_arrivals)
+    for g in circuit.gates:
+        if g.is_ff:
+            at[g.output] = CLK_TO_Q_PS
+    for gi in circuit.comb_order():
+        g = circuit.gates[gi]
+        worst = max(at.get(w, 0) for w in g.inputs)
+        at[g.output] = worst + g.delay_ps
+    return at
+
+
+def critical_path(circuit: Circuit) -> Tuple[int, List[Gate], int, int]:
+    """Longest data path ending at an FF data pin or a primary output.
+
+    Returns:
+        ``(delay_ps, gates_along_path, start_wire, end_wire)`` where
+        ``delay_ps`` excludes clk-to-q/setup (pure combinational delay).
+    """
+    at = arrival_times(circuit)
+    # Candidate endpoints: FF D pins and primary outputs.
+    endpoints: List[int] = []
+    for g in circuit.gates:
+        if g.is_ff:
+            endpoints.append(g.inputs[0])  # D pin
+    endpoints.extend(circuit.outputs.values())
+    if not endpoints:
+        endpoints = [g.output for g in circuit.gates if not g.is_ff]
+    if not endpoints:
+        return 0, [], -1, -1
+    end = max(endpoints, key=lambda w: at.get(w, 0))
+    # Trace back through worst-arrival inputs.
+    path: List[Gate] = []
+    w = end
+    while True:
+        drv = circuit.driver_of(w)
+        if drv is None or drv.is_ff:
+            break
+        path.append(drv)
+        w = max(drv.inputs, key=lambda x: at.get(x, 0))
+    path.reverse()
+    start = w
+    comb = at.get(end, 0) - at.get(start, 0)
+    return comb, path, start, end
+
+
+def analyze(circuit: Circuit) -> TimingReport:
+    """Full timing report with FF overheads folded into the period."""
+    comb, path, start, end = critical_path(circuit)
+    launch_seq = circuit.driver_of(start) is not None and circuit.driver_of(start).is_ff
+    period = comb + SETUP_PS + (CLK_TO_Q_PS if launch_seq else 0)
+    period = max(period, CLK_TO_Q_PS + SETUP_PS)  # FF-to-FF floor
+    return TimingReport(
+        critical_path_ps=period,
+        max_freq_mhz=1e6 / period,
+        path=tuple(g.name for g in path),
+        start_wire=circuit.wire_name(start) if start >= 0 else "-",
+        end_wire=circuit.wire_name(end) if end >= 0 else "-",
+    )

@@ -1,0 +1,358 @@
+"""First-order masked PRESENT-80 built from the paper's gadgets.
+
+Demonstrates that the secAND2 gadget + composition rules generalise
+beyond DES: the PRESENT S-box is a single 4-bit permutation of degree 3
+— structurally identical to a DES mini S-box — so the AND-stage /
+refresh / XOR-stage recipe of Sec. IV applies verbatim:
+
+* compute the (at most 6+4) shared product terms with secAND2
+  (degree-3 terms chained on degree-2 products, Fig. 4/6),
+* refresh each used product with a fresh bit before the XOR plane
+  (Sec. III-C),
+* evaluate the linear layer share-wise.
+
+Provides the share-level full cipher (masked datapath *and* masked key
+schedule — the schedule's S-box step is nonlinear) and gate-level
+netlist builders for the masked S-box in both FF and PD styles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.gadgets import SharePair, refresh, secand2, secand2_ff, secand2_func
+from ..des.sbox_anf import ALL_MONOMIALS, mobius_transform
+from ..leakage.prng import RandomnessSource
+from ..netlist.cells import DELAY_UNIT_DEFAULT_LUTS
+from ..netlist.circuit import Circuit
+from .reference import N_ROUNDS, PLAYER, SBOX
+
+__all__ = [
+    "Masked4BitSbox",
+    "MaskedPresent",
+    "build_present_sbox_ff",
+    "build_present_sbox_pd",
+]
+
+_ShareVec = Tuple[np.ndarray, np.ndarray]
+
+
+def _mand(x: _ShareVec, y: _ShareVec) -> _ShareVec:
+    z0, z1 = secand2_func(x[0], x[1], y[0], y[1])
+    return z0, z1
+
+
+@dataclass(frozen=True)
+class _SboxANF:
+    """ANF of a 4-bit permutation, bit order MSB-first (x1..x4)."""
+
+    constants: Tuple[int, ...]
+    linear: Tuple[Tuple[int, ...], ...]
+    products: Tuple[Tuple[int, ...], ...]
+    monomials: Tuple[int, ...]
+
+    @classmethod
+    def of(cls, table: Sequence[int]) -> "_SboxANF":
+        constants, linear, products = [], [], []
+        used = set()
+        for bit in range(4):
+            tt = [(table[c] >> (3 - bit)) & 1 for c in range(16)]
+            coeffs = mobius_transform(tt)
+            if coeffs[0b1111]:
+                raise ValueError("degree-4 term: table is not a permutation")
+            constants.append(coeffs[0])
+            linear.append(tuple(i for i in range(4) if coeffs[8 >> i]))
+            prods = tuple(m for m in ALL_MONOMIALS if coeffs[m])
+            products.append(prods)
+            used.update(prods)
+        monomials = tuple(m for m in ALL_MONOMIALS if m in used)
+        return cls(
+            tuple(constants), tuple(linear), tuple(products), monomials
+        )
+
+    def deg3_factorisation(self, mask: int) -> Tuple[int, int]:
+        vars_in = [i for i in range(4) if mask & (8 >> i)]
+        for extra in reversed(vars_in):
+            d2 = mask & ~(8 >> extra)
+            if d2 in self.monomials:
+                return d2, extra
+        return mask & ~(8 >> vars_in[-1]), vars_in[-1]
+
+
+class Masked4BitSbox:
+    """Generic first-order masked 4-bit S-box (share-level).
+
+    Works for any 4-bit permutation of degree <= 3; consumes one fresh
+    bit per nonlinear monomial the ANF actually uses.
+    """
+
+    def __init__(self, table: Sequence[int]):
+        if sorted(table) != list(range(16)):
+            raise ValueError("table must be a 4-bit permutation")
+        self.table = tuple(table)
+        self.anf = _SboxANF.of(table)
+        # degree-2 products needed as chain bases for degree-3 terms
+        extra_deg2 = set()
+        for m in self.anf.monomials:
+            if bin(m).count("1") == 3:
+                d2, _ = self.anf.deg3_factorisation(m)
+                extra_deg2.add(d2)
+        self.computed = tuple(
+            m
+            for m in ALL_MONOMIALS
+            if m in self.anf.monomials or m in extra_deg2
+        )
+
+    @property
+    def random_bits(self) -> int:
+        """Fresh bits consumed per evaluation (refresh of used terms)."""
+        return len(self.anf.monomials)
+
+    def __call__(
+        self, x_s0: np.ndarray, x_s1: np.ndarray, rand: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Evaluate on (4, n) share matrices (MSB-first bit order)."""
+        n = x_s0.shape[1]
+        xs = [(x_s0[i], x_s1[i]) for i in range(4)]
+        products: Dict[int, _ShareVec] = {}
+        for m in self.computed:
+            if bin(m).count("1") == 2:
+                i, j = [k for k in range(4) if m & (8 >> k)]
+                products[m] = _mand(xs[i], xs[j])
+        for m in self.computed:
+            if bin(m).count("1") == 3:
+                d2, extra = self.anf.deg3_factorisation(m)
+                products[m] = _mand(products[d2], xs[extra])
+        refreshed = {
+            m: (products[m][0] ^ rand[k], products[m][1] ^ rand[k])
+            for k, m in enumerate(self.anf.monomials)
+        }
+        out0 = np.zeros((4, n), dtype=bool)
+        out1 = np.zeros((4, n), dtype=bool)
+        for b in range(4):
+            acc0 = np.full(n, bool(self.anf.constants[b]))
+            acc1 = np.zeros(n, dtype=bool)
+            for v in self.anf.linear[b]:
+                acc0 = acc0 ^ xs[v][0]
+                acc1 = acc1 ^ xs[v][1]
+            for m in self.anf.products[b]:
+                acc0 = acc0 ^ refreshed[m][0]
+                acc1 = acc1 ^ refreshed[m][1]
+            out0[b], out1[b] = acc0, acc1
+        return out0, out1
+
+
+def _int_to_bits_lsb(values: np.ndarray, width: int) -> np.ndarray:
+    """(width, n) boolean matrix, row i = bit i (LSB-first)."""
+    shifts = np.arange(width, dtype=np.uint64)
+    return ((values[None, :] >> shifts[:, None]) & np.uint64(1)).astype(bool)
+
+
+def _bits_to_int_lsb(bits: np.ndarray) -> np.ndarray:
+    out = np.zeros(bits.shape[1], dtype=np.uint64)
+    for i in range(bits.shape[0] - 1, -1, -1):
+        out = (out << np.uint64(1)) | bits[i].astype(np.uint64)
+    return out
+
+
+class MaskedPresent:
+    """Share-level first-order masked PRESENT-80.
+
+    Masked datapath and masked key schedule; the per-round refresh
+    randomness is recycled across the sixteen S-boxes (the paper's
+    Sec. VI-A choice for DES), so the engine consumes
+    ``sbox.random_bits`` fresh bits per round plus the same for the key
+    schedule's single S-box.
+    """
+
+    def __init__(self, recycle_randomness: bool = True):
+        self.sbox = Masked4BitSbox(SBOX)
+        self.recycle_randomness = recycle_randomness
+
+    @property
+    def random_bits_per_round(self) -> int:
+        k = self.sbox.random_bits
+        return (k if self.recycle_randomness else 16 * k) + k
+
+    def _sbox_layer(
+        self, s0: np.ndarray, s1: np.ndarray, prng: RandomnessSource
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        n = s0.shape[1]
+        o0 = np.zeros_like(s0)
+        o1 = np.zeros_like(s1)
+        rand = prng.bits(self.sbox.random_bits, n)
+        for nib in range(16):
+            if not self.recycle_randomness:
+                rand = prng.bits(self.sbox.random_bits, n)
+            # bits of nibble, MSB-first for the S-box model
+            rows = [4 * nib + 3, 4 * nib + 2, 4 * nib + 1, 4 * nib]
+            a0 = np.stack([s0[r] for r in rows])
+            a1 = np.stack([s1[r] for r in rows])
+            b0, b1 = self.sbox(a0, a1, rand)
+            for k, r in enumerate(rows):
+                o0[r] = b0[k]
+                o1[r] = b1[k]
+        return o0, o1
+
+    def _player(self, s: np.ndarray) -> np.ndarray:
+        out = np.zeros_like(s)
+        for i in range(64):
+            out[PLAYER[i]] = s[i]
+        return out
+
+    def encrypt_shares(
+        self,
+        pt_s0: np.ndarray,
+        pt_s1: np.ndarray,
+        key_s0: np.ndarray,
+        key_s1: np.ndarray,
+        prng: RandomnessSource,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """(64, n) state shares, (80, n) key shares, LSB-first rows."""
+        n = pt_s0.shape[1]
+        s0, s1 = pt_s0.copy(), pt_s1.copy()
+        k0, k1 = key_s0.copy(), key_s1.copy()
+        for rnd in range(1, N_ROUNDS + 1):
+            # addRoundKey: leftmost 64 key bits (bits 16..79)
+            s0 ^= k0[16:]
+            s1 ^= k1[16:]
+            s0, s1 = self._sbox_layer(s0, s1, prng)
+            s0, s1 = self._player(s0), self._player(s1)
+            # key schedule: rotate left 61, S-box on top nibble,
+            # counter XOR (affine: applied to share 0)
+            k0 = np.roll(k0, 61, axis=0)
+            k1 = np.roll(k1, 61, axis=0)
+            rows = [79, 78, 77, 76]
+            a0 = np.stack([k0[r] for r in rows])
+            a1 = np.stack([k1[r] for r in rows])
+            rand = prng.bits(self.sbox.random_bits, n)
+            b0, b1 = self.sbox(a0, a1, rand)
+            for t, r in enumerate(rows):
+                k0[r] = b0[t]
+                k1[r] = b1[t]
+            for b in range(5):
+                if (rnd >> b) & 1:
+                    k0[15 + b] = ~k0[15 + b]
+        s0 ^= k0[16:]
+        s1 ^= k1[16:]
+        return s0, s1
+
+    def encrypt(
+        self,
+        plaintexts: np.ndarray,
+        keys: Sequence[int],
+        prng: RandomnessSource,
+    ) -> np.ndarray:
+        """Mask, encrypt, unmask: (n,) uint64 in/out."""
+        n = plaintexts.shape[0]
+        pt_bits = _int_to_bits_lsb(plaintexts.astype(np.uint64), 64)
+        key_bits = np.zeros((80, n), dtype=bool)
+        for t, k in enumerate(keys):
+            for b in range(80):
+                key_bits[b, t] = bool((int(k) >> b) & 1)
+        pm = prng.bits(64, n)
+        km = prng.bits(80, n)
+        c0, c1 = self.encrypt_shares(
+            pt_bits ^ pm, pm, key_bits ^ km, km, prng
+        )
+        return _bits_to_int_lsb(c0 ^ c1)
+
+
+# ----------------------------------------------------------------------
+# gate-level masked PRESENT S-box (FF and PD styles)
+# ----------------------------------------------------------------------
+def _netlist_sbox(
+    c: Circuit,
+    ins: Sequence[SharePair],
+    rand: Sequence[int],
+    model: Masked4BitSbox,
+    and_stage,
+    tag: str,
+) -> List[SharePair]:
+    anf = model.anf
+    products: Dict[int, SharePair] = {}
+    for m in model.computed:
+        if bin(m).count("1") == 2:
+            i, j = [k for k in range(4) if m & (8 >> k)]
+            products[m] = and_stage(ins[i], ins[j], f"{tag}_p{m:x}", 2)
+    for m in model.computed:
+        if bin(m).count("1") == 3:
+            d2, extra = anf.deg3_factorisation(m)
+            products[m] = and_stage(products[d2], ins[extra], f"{tag}_p{m:x}", 3)
+    refreshed = {
+        m: refresh(c, products[m], rand[k], tag=f"{tag}_ref{m:x}")
+        for k, m in enumerate(anf.monomials)
+    }
+    outs: List[SharePair] = []
+    for b in range(4):
+        t0 = [ins[v].s0 for v in anf.linear[b]]
+        t1 = [ins[v].s1 for v in anf.linear[b]]
+        t0 += [refreshed[m].s0 for m in anf.products[b]]
+        t1 += [refreshed[m].s1 for m in anf.products[b]]
+        s0 = c.xor_tree(t0, name=f"{tag}_o{b}s0")
+        s1 = c.xor_tree(t1, name=f"{tag}_o{b}s1")
+        if anf.constants[b]:
+            s0 = c.inv(s0, name=f"{tag}_o{b}c")
+        outs.append(SharePair(s0, s1))
+    return outs
+
+
+def build_present_sbox_ff(
+    c: Circuit,
+    ins: Sequence[SharePair],
+    rand: Sequence[int],
+    en_deg2: int,
+    en_deg3: int,
+    tag: str = "psb",
+) -> List[SharePair]:
+    """Masked PRESENT S-box with secAND2-FF gadgets (layered enables).
+
+    ``rand`` must provide one wire per used monomial
+    (``Masked4BitSbox(SBOX).random_bits``).
+    """
+    model = Masked4BitSbox(SBOX)
+
+    def and_stage(x, y, t, degree):
+        en = en_deg2 if degree == 2 else en_deg3
+        return secand2_ff(c, x, y, enable=en, tag=t)
+
+    return _netlist_sbox(c, ins, rand, model, and_stage, tag)
+
+
+def build_present_sbox_pd(
+    c: Circuit,
+    ins: Sequence[SharePair],
+    rand: Sequence[int],
+    n_luts: int = DELAY_UNIT_DEFAULT_LUTS,
+    tag: str = "psb",
+) -> Tuple[List[SharePair], List[SharePair]]:
+    """Masked PRESENT S-box with secAND2-PD (shared staggered delays).
+
+    Uses the same generalised Table II schedule as the DES mini S-box:
+    ``x4_s0(0) .. x1(3,3) .. x4_s1(6)`` DelayUnits on the four input
+    share pairs.
+
+    Returns:
+        ``(outputs, delayed_inputs)``.
+    """
+    from ..des.masked_netlist import PD_MINI_SCHEDULE
+
+    model = Masked4BitSbox(SBOX)
+    delayed: List[SharePair] = []
+    for v in range(4):
+        u0, u1 = PD_MINI_SCHEDULE[v]
+        delayed.append(
+            SharePair(
+                c.delay_line(ins[v].s0, u0, n_luts, name=f"{tag}_dl{v}s0"),
+                c.delay_line(ins[v].s1, u1, n_luts, name=f"{tag}_dl{v}s1"),
+            )
+        )
+
+    def and_stage(x, y, t, degree):
+        return secand2(c, x, y, tag=t)
+
+    outs = _netlist_sbox(c, delayed, rand, model, and_stage, tag)
+    return outs, delayed

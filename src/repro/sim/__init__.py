@@ -1,0 +1,28 @@
+"""Event-driven glitch simulation and power modelling.
+
+Substitute for the paper's physical measurement setup (SAKURA-G +
+oscilloscope): a transport-delay gate-level simulator whose transient
+transitions *are* the glitches the paper reasons about, and a
+toggle-count power model whose traces feed TVLA.
+"""
+
+from .power import CouplingModel, NullRecorder, PowerRecorder, default_weights
+from .simulator import ScalarSimulator, Waveform
+from .vectorsim import InputEvent, SimulationError, VectorSimulator
+from .clocking import ClockedHarness, TimingViolation
+from .vcd import to_vcd
+
+__all__ = [
+    "CouplingModel",
+    "NullRecorder",
+    "PowerRecorder",
+    "default_weights",
+    "ScalarSimulator",
+    "Waveform",
+    "InputEvent",
+    "SimulationError",
+    "VectorSimulator",
+    "ClockedHarness",
+    "TimingViolation",
+    "to_vcd",
+]

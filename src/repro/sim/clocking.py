@@ -1,0 +1,188 @@
+"""Multi-cycle clocked simulation harness.
+
+Drives a circuit containing flip-flops through clock cycles on top of
+the vectorised glitch simulator:
+
+* at each rising edge, every FF samples the D (and EN) value that had
+  settled by the end of the previous cycle; changed Q outputs are
+  injected as events at ``CLK_TO_Q_PS``;
+* primary-input changes are injected according to a per-cycle schedule
+  (this is how the paper's controlled input sequences — one share per
+  cycle, Sec. II-B — and the PD design's staggered arrivals are driven);
+* all transitions of the cycle are recorded into the shared power trace
+  at absolute time ``cycle * period + t``.
+
+The harness also supports synchronous FF reset (secAND2-FF "must be
+reset between successive computations", Sec. II-C) and checks that the
+combinational logic settles within the clock period (the PD design's
+DelayUnits push the period up — Table III's 21 MHz).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..netlist.circuit import Circuit, Gate
+from ..netlist.timing import CLK_TO_Q_PS
+from .power import PowerRecorder
+from .vectorsim import InputEvent, VectorSimulator
+
+__all__ = ["ClockedHarness", "TimingViolation"]
+
+
+class TimingViolation(RuntimeError):
+    """Combinational logic did not settle within the clock period."""
+
+
+class ClockedHarness:
+    """Cycle-driver around :class:`VectorSimulator`.
+
+    Args:
+        circuit: Netlist (may contain DFF/DFFE cells).
+        n_traces: Number of parallel stimuli.
+        period_ps: Clock period; transitions later than this within a
+            cycle raise :class:`TimingViolation` when ``check_timing``.
+        check_timing: Enforce the period (default True).
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        n_traces: int,
+        period_ps: int,
+        check_timing: bool = True,
+    ):
+        self.sim = VectorSimulator(circuit, n_traces)
+        self.period_ps = period_ps
+        self.check_timing = check_timing
+        self.cycle = 0
+        self._ffs: List[Gate] = circuit.ff_gates()
+        self._ff_index = {g.name: i for i, g in enumerate(self._ffs)}
+        self._ff_q = np.zeros((len(self._ffs), n_traces), dtype=bool)
+        # FFs may declare a reset_group param; step() can synchronously
+        # reset whole groups (the paper resets the secAND2-FF gadget
+        # flip-flops between computations, Sec. II-C).
+        self._reset_groups: Dict[str, List[int]] = {}
+        for i, g in enumerate(self._ffs):
+            group = g.params.get("reset_group")
+            if group is not None:
+                self._reset_groups.setdefault(str(group), []).append(i)
+        self.last_settle_ps = 0
+
+    @property
+    def circuit(self) -> Circuit:
+        return self.sim.circuit
+
+    @property
+    def n_traces(self) -> int:
+        return self.sim.n_traces
+
+    def total_time_ps(self, n_cycles: int) -> int:
+        """Trace length for a :class:`PowerRecorder` covering n cycles."""
+        return n_cycles * self.period_ps
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Asynchronous global reset: all wires and FF state to 0."""
+        self.sim.reset_state(False)
+        self._ff_q[:] = False
+        self.cycle = 0
+
+    def force_ffs(self, value: bool = False) -> None:
+        """Synchronously force every FF's stored state (no events)."""
+        self._ff_q[:] = value
+
+    def preload(
+        self,
+        ff_values: Dict[str, np.ndarray],
+        input_values: Optional[Dict[int, np.ndarray]] = None,
+    ) -> None:
+        """Initialise register contents and primary inputs *silently*.
+
+        Sets FF state (by gate name) and input wires, then evaluates the
+        combinational logic once with zero delay so every wire holds a
+        consistent value.  No events, no power — this models the
+        untraced load phase before the measured operation starts.
+        """
+        for name, vals in ff_values.items():
+            i = self._ff_index[name]
+            v = np.asarray(vals, dtype=bool)
+            self._ff_q[i] = v
+            self.sim.values[self._ffs[i].output] = v.copy()
+        inputs = dict(input_values or {})
+        self.sim.evaluate_combinational(inputs)
+
+    def ff_state(self, name: str) -> np.ndarray:
+        """Current stored value of the named FF (copy)."""
+        return self._ff_q[self._ff_index[name]].copy()
+
+    # ------------------------------------------------------------------
+    def _sample_ffs(
+        self, reset: bool, reset_groups: Iterable[str]
+    ) -> List[InputEvent]:
+        """Clock edge: sample D/EN, emit Q-change events at CLK_TO_Q."""
+        reset_idx = set()
+        for grp in reset_groups:
+            reset_idx.update(self._reset_groups.get(grp, ()))
+        events: List[InputEvent] = []
+        vals = self.sim.values
+        for i, ff in enumerate(self._ffs):
+            if reset or i in reset_idx:
+                new_q = np.zeros(self.n_traces, dtype=bool)
+            elif ff.cell.name == "DFFE":
+                d, en = ff.inputs
+                new_q = np.where(vals[en], vals[d], self._ff_q[i])
+            else:
+                new_q = vals[ff.inputs[0]].copy()
+            if not np.array_equal(new_q, self._ff_q[i]):
+                self._ff_q[i] = new_q
+                events.append((CLK_TO_Q_PS, ff.output, new_q))
+        return events
+
+    def step(
+        self,
+        input_events: Iterable[InputEvent] = (),
+        recorder: Optional[PowerRecorder] = None,
+        reset_ffs: bool = False,
+        reset_groups: Iterable[str] = (),
+    ) -> None:
+        """Advance one clock cycle.
+
+        Args:
+            input_events: ``(t_ps, wire, values)`` with ``t_ps`` relative
+                to this cycle's clock edge.
+            recorder: Power recorder (absolute-time binning).
+            reset_ffs: Apply synchronous reset this edge (all FFs -> 0).
+            reset_groups: Names of FF reset groups (``reset_group``
+                gate param) to reset this edge — e.g. the secAND2-FF
+                gadget flip-flops at the start of each round.
+        """
+        events = self._sample_ffs(reset=reset_ffs, reset_groups=reset_groups)
+        events.extend(input_events)
+        t_offset = self.cycle * self.period_ps
+        settle = self.sim.settle(events, recorder=recorder, t_offset=t_offset)
+        self.last_settle_ps = settle
+        if self.check_timing and settle >= self.period_ps:
+            raise TimingViolation(
+                f"cycle {self.cycle}: logic settled at {settle} ps "
+                f">= period {self.period_ps} ps"
+            )
+        self.cycle += 1
+
+    def run(
+        self,
+        schedule: Sequence[Iterable[InputEvent]],
+        recorder: Optional[PowerRecorder] = None,
+    ) -> None:
+        """Run one cycle per entry of ``schedule``."""
+        for cycle_events in schedule:
+            self.step(cycle_events, recorder=recorder)
+
+    # ------------------------------------------------------------------
+    def wire_values(self, wire: int) -> np.ndarray:
+        return self.sim.wire_values(wire)
+
+    def output_values(self) -> Dict[str, np.ndarray]:
+        return self.sim.output_values()

@@ -1,0 +1,103 @@
+"""Unit tests for the fixed-vs-random acquisition harness."""
+
+import numpy as np
+import pytest
+
+from repro.leakage.acquisition import (
+    CampaignConfig,
+    detect_leakage_traces,
+    run_campaign,
+    run_multi_fixed,
+)
+
+
+class SyntheticSource:
+    """Source with a controllable first-order leak at sample 3."""
+
+    def __init__(self, leak=0.0, n_samples=8):
+        self.n_samples = n_samples
+        self.leak = leak
+        self.calls = 0
+
+    def acquire(self, fixed_mask, rng):
+        self.calls += 1
+        n = fixed_mask.shape[0]
+        traces = rng.normal(10.0, 1.0, (n, self.n_samples)).astype(np.float32)
+        traces[fixed_mask, 3] += self.leak
+        return traces
+
+
+def test_campaign_flags_leaky_source():
+    res = run_campaign(
+        SyntheticSource(leak=0.5),
+        CampaignConfig(n_traces=5000, batch_size=1000, noise_sigma=0.0, seed=1),
+    )
+    assert res.leaks(1)
+    assert 3 in res.crossings(1)
+
+
+def test_campaign_clean_source_stays_clean():
+    res = run_campaign(
+        SyntheticSource(leak=0.0),
+        CampaignConfig(n_traces=5000, batch_size=1000, noise_sigma=0.0, seed=1),
+    )
+    assert not res.leaks(1)
+
+
+def test_campaign_noise_slows_detection():
+    quiet = run_campaign(
+        SyntheticSource(leak=0.3),
+        CampaignConfig(n_traces=4000, batch_size=1000, noise_sigma=0.0, seed=2),
+    )
+    noisy = run_campaign(
+        SyntheticSource(leak=0.3),
+        CampaignConfig(n_traces=4000, batch_size=1000, noise_sigma=5.0, seed=2),
+    )
+    assert noisy.max_abs(1) < quiet.max_abs(1)
+
+
+def test_campaign_respects_trace_budget():
+    src = SyntheticSource()
+    res = run_campaign(
+        src, CampaignConfig(n_traces=3500, batch_size=1000, seed=0)
+    )
+    assert res.n_traces == 3500
+    assert src.calls == 4  # 1000+1000+1000+500
+
+
+def test_detect_leakage_reports_trace_count():
+    detected, res = detect_leakage_traces(
+        SyntheticSource(leak=1.0),
+        CampaignConfig(n_traces=20000, batch_size=500, noise_sigma=0.0, seed=3),
+    )
+    assert detected is not None
+    assert detected <= 2000  # strong leak found quickly
+    assert res.n_traces == detected
+
+
+def test_detect_leakage_none_for_clean_source():
+    detected, res = detect_leakage_traces(
+        SyntheticSource(leak=0.0),
+        CampaignConfig(n_traces=3000, batch_size=1000, noise_sigma=0.0, seed=4),
+    )
+    assert detected is None
+    assert res.n_traces == 3000
+
+
+def test_multi_fixed_runs_requested_tests():
+    made = []
+
+    def factory(i):
+        made.append(i)
+        return SyntheticSource(leak=0.5)
+
+    results = run_multi_fixed(
+        factory,
+        CampaignConfig(n_traces=2000, batch_size=1000, noise_sigma=0.0, seed=5),
+        n_fixed=3,
+    )
+    assert made == [0, 1, 2]
+    assert len(results) == 3
+    assert all(r.leaks(1) for r in results)
+    # seeds differ across the tests
+    assert len({r.label for r in results}) == 3

@@ -1,0 +1,178 @@
+"""Tests for the AES-128 case study (reference + masked)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aes import (
+    INV_SBOX,
+    MULT_MONOMIAL_MASKS,
+    MaskedAES128,
+    MaskedByte,
+    SBOX,
+    aes128_encrypt,
+    expand_key128,
+    gf_inverse,
+    gf_mult,
+    masked_gf_inverse,
+    masked_gf_mult,
+    masked_sbox,
+    xtime,
+)
+from repro.leakage.prng import RandomnessSource
+
+
+# ----------------------------------------------------------------------
+# reference
+# ----------------------------------------------------------------------
+def test_fips197_vector():
+    pt = bytes.fromhex("00112233445566778899aabbccddeeff")
+    ky = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+    assert aes128_encrypt(pt, ky).hex() == "69c4e0d86a7b0430d8cdb78070b4c55a"
+
+
+def test_fips197_appendix_b_vector():
+    pt = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+    ky = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+    assert aes128_encrypt(pt, ky).hex() == "3925841d02dc09fbdc118597196a0b32"
+
+
+def test_sbox_known_values():
+    assert SBOX[0x00] == 0x63
+    assert SBOX[0x53] == 0xED
+    assert SBOX[0xFF] == 0x16
+    assert sorted(SBOX) == list(range(256))
+    assert all(INV_SBOX[SBOX[v]] == v for v in range(256))
+
+
+def test_gf_mult_properties():
+    assert gf_mult(0x57, 0x83) == 0xC1  # FIPS-197 example
+    assert gf_mult(0x57, 0x13) == 0xFE
+    for a in (1, 7, 0x53, 0xCA):
+        assert gf_mult(a, 1) == a
+        assert gf_mult(a, 0) == 0
+
+
+@given(st.integers(1, 255))
+@settings(max_examples=40, deadline=None)
+def test_gf_inverse_property(a):
+    assert gf_mult(a, gf_inverse(a)) == 1
+
+
+def test_xtime():
+    assert xtime(0x57) == 0xAE
+    assert xtime(0xAE) == 0x47  # wraps through the reduction
+
+
+def test_key_expansion_first_round_key_is_key():
+    key = bytes(range(16))
+    keys = expand_key128(key)
+    assert len(keys) == 11
+    assert bytes(keys[0]) == key
+
+
+def test_bad_sizes_rejected():
+    with pytest.raises(ValueError):
+        aes128_encrypt(b"short", bytes(16))
+    with pytest.raises(ValueError):
+        expand_key128(b"short")
+
+
+# ----------------------------------------------------------------------
+# masked
+# ----------------------------------------------------------------------
+def test_monomial_masks_consistency():
+    """masks[i][j] must encode x^(7-i) * x^(7-j) reduced mod the AES
+    polynomial."""
+    for i in range(8):
+        for j in range(8):
+            prod = gf_mult(1 << (7 - i), 1 << (7 - j))
+            m = int(MULT_MONOMIAL_MASKS[i, j])
+            rebuilt = 0
+            for k in range(8):
+                if m & (1 << k):
+                    rebuilt |= 1 << (7 - k)
+            assert rebuilt == prod
+
+
+def test_masked_byte_share_roundtrip():
+    rng = np.random.default_rng(0)
+    vals = rng.integers(0, 256, 1000).astype(np.uint8)
+    mb = MaskedByte.share(vals, RandomnessSource(1))
+    assert np.array_equal(mb.unshare(), vals)
+    # mask share is balanced
+    assert abs(mb.s1.mean() - 0.5) < 0.05
+
+
+def test_masked_gf_mult_matches_reference():
+    rng = np.random.default_rng(1)
+    prng = RandomnessSource(2)
+    a = rng.integers(0, 256, 3000).astype(np.uint8)
+    b = rng.integers(0, 256, 3000).astype(np.uint8)
+    mc = masked_gf_mult(
+        MaskedByte.share(a, prng), MaskedByte.share(b, prng), prng
+    )
+    ref = np.array([gf_mult(int(x), int(y)) for x, y in zip(a, b)],
+                   dtype=np.uint8)
+    assert np.array_equal(mc.unshare(), ref)
+
+
+def test_masked_gf_mult_output_refreshed():
+    """The product's mask share must be fresh (independent of inputs)."""
+    prng = RandomnessSource(3)
+    a = np.full(20_000, 0x57, dtype=np.uint8)
+    b = np.full(20_000, 0x83, dtype=np.uint8)
+    mc = masked_gf_mult(
+        MaskedByte.share(a, prng), MaskedByte.share(b, prng), prng
+    )
+    for i in range(8):
+        assert abs(mc.s0[i].mean() - 0.5) < 0.02
+
+
+def test_masked_inverse_all_values():
+    prng = RandomnessSource(4)
+    vals = np.arange(256, dtype=np.uint8)
+    inv = masked_gf_inverse(MaskedByte.share(vals, prng), prng)
+    ref = np.array([gf_inverse(v) for v in range(256)], dtype=np.uint8)
+    assert np.array_equal(inv.unshare(), ref)
+
+
+def test_masked_sbox_all_values():
+    prng = RandomnessSource(5)
+    vals = np.arange(256, dtype=np.uint8)
+    out = masked_sbox(MaskedByte.share(vals, prng), prng)
+    assert np.array_equal(out.unshare(), np.array(SBOX, dtype=np.uint8))
+
+
+def test_masked_aes_matches_reference():
+    rng = np.random.default_rng(6)
+    pts = rng.integers(0, 256, (6, 16)).astype(np.uint8)
+    kys = rng.integers(0, 256, (6, 16)).astype(np.uint8)
+    cts = MaskedAES128().encrypt(pts, kys, RandomnessSource(7))
+    for i in range(6):
+        assert bytes(cts[i]) == aes128_encrypt(bytes(pts[i]), bytes(kys[i]))
+
+
+def test_masked_aes_fips_vector():
+    pt = np.frombuffer(
+        bytes.fromhex("00112233445566778899aabbccddeeff"), dtype=np.uint8
+    ).reshape(1, 16)
+    ky = np.frombuffer(
+        bytes.fromhex("000102030405060708090a0b0c0d0e0f"), dtype=np.uint8
+    ).reshape(1, 16)
+    ct = MaskedAES128().encrypt(pt, ky, RandomnessSource(8))
+    assert bytes(ct[0]).hex() == "69c4e0d86a7b0430d8cdb78070b4c55a"
+
+
+def test_masked_aes_prng_off_still_correct():
+    rng = np.random.default_rng(9)
+    pts = rng.integers(0, 256, (2, 16)).astype(np.uint8)
+    kys = rng.integers(0, 256, (2, 16)).astype(np.uint8)
+    cts = MaskedAES128().encrypt(pts, kys, RandomnessSource(0, enabled=False))
+    for i in range(2):
+        assert bytes(cts[i]) == aes128_encrypt(bytes(pts[i]), bytes(kys[i]))
+
+
+def test_randomness_accounting():
+    assert MaskedAES128.RANDOM_BITS_PER_SBOX == 32  # 4 mults x 8 bits

@@ -1,0 +1,167 @@
+"""Tests for the CPA attack subsystem."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.cpa import (
+    AttackResult,
+    correlation_matrix,
+    first_order_cpa,
+    second_order_cpa,
+    true_subkey,
+)
+from repro.attacks.models import (
+    hamming_weight4,
+    register_hd_hypotheses,
+    round1_state,
+    sbox_output_hypotheses,
+)
+
+KEY = 0x133457799BBCDFF1
+
+
+def test_hamming_weight4():
+    assert list(hamming_weight4(np.array([0, 1, 3, 7, 15]))) == [0, 1, 2, 3, 4]
+
+
+def test_correlation_matrix_perfect_correlation():
+    rng = np.random.default_rng(0)
+    h = rng.normal(0, 1, (3, 500))
+    traces = np.zeros((500, 4))
+    traces[:, 2] = 2.0 * h[1] + 5.0
+    corr = correlation_matrix(traces, h)
+    assert corr.shape == (3, 4)
+    assert corr[1, 2] == pytest.approx(1.0)
+    assert abs(corr[0, 2]) < 0.2
+
+
+def test_correlation_matrix_constant_sample_is_zero():
+    h = np.random.default_rng(1).normal(0, 1, (2, 100))
+    traces = np.ones((100, 3))
+    corr = correlation_matrix(traces, h)
+    assert np.allclose(corr, 0.0)
+
+
+def test_true_subkey_matches_key_schedule():
+    from repro.des.keyschedule import round_keys
+
+    k1 = round_keys(KEY)[0]
+    for sbox in range(8):
+        assert true_subkey(KEY, sbox) == (k1 >> (42 - 6 * sbox)) & 0x3F
+
+
+def test_round1_state_shapes():
+    pts = np.arange(10, dtype=np.uint64)
+    l0, r0, er0 = round1_state(pts)
+    assert l0.shape == (32, 10)
+    assert r0.shape == (32, 10)
+    assert er0.shape == (48, 10)
+
+
+@pytest.mark.parametrize("model", [sbox_output_hypotheses, register_hd_hypotheses])
+def test_hypotheses_shape_and_range(model):
+    pts = np.random.default_rng(2).integers(0, 2**63, 200, dtype=np.uint64)
+    hyps = model(pts, 3)
+    assert hyps.shape == (64, 200)
+    assert hyps.min() >= 0
+    assert hyps.max() <= 4
+
+
+def test_hypotheses_depend_on_guess():
+    pts = np.random.default_rng(3).integers(0, 2**63, 500, dtype=np.uint64)
+    hyps = sbox_output_hypotheses(pts, 0)
+    assert not np.array_equal(hyps[0], hyps[1])
+
+
+def test_sbox_output_hypothesis_matches_reference():
+    """The guess equal to the true subkey must predict the real round-1
+    S-box output HW."""
+    from repro.des.reference import feistel, sbox_lookup
+    from repro.des.bits import permute_int
+    from repro.des.keyschedule import round_keys
+    from repro.des.tables import E, IP
+
+    rng = np.random.default_rng(4)
+    pts = rng.integers(0, 2**63, 50, dtype=np.uint64)
+    sbox = 2
+    guess = true_subkey(KEY, sbox)
+    hyps = sbox_output_hypotheses(pts, sbox)
+    k1 = round_keys(KEY)[0]
+    for i, pt in enumerate(pts):
+        st = permute_int(int(pt), IP, 64)
+        r0 = st & 0xFFFFFFFF
+        x = permute_int(r0, E, 32) ^ k1
+        chunk = (x >> (42 - 6 * sbox)) & 0x3F
+        out = sbox_lookup(sbox, chunk)
+        assert hyps[guess, i] == bin(out).count("1")
+
+
+def test_attack_result_ranking():
+    scores = np.zeros(64)
+    scores[13] = 0.9
+    scores[7] = 0.5
+    res = AttackResult(sbox=0, scores=scores, correct_guess=7)
+    assert res.best_guess == 13
+    assert res.rank_of_correct == 1
+    assert not res.success
+    assert "resisted" in res.row()
+
+
+def test_first_order_cpa_on_synthetic_leakage():
+    """Traces built as HW(sbox out) + noise must be broken instantly."""
+    rng = np.random.default_rng(5)
+    pts = rng.integers(0, 2**63, 1500, dtype=np.uint64)
+    sbox = 4
+    guess = true_subkey(KEY, sbox)
+    hyps = sbox_output_hypotheses(pts, sbox)
+    traces = np.zeros((1500, 6), dtype=np.float64)
+    traces[:, 3] = hyps[guess] + rng.normal(0, 1.0, 1500)
+    traces += rng.normal(0, 0.5, traces.shape)
+    res = first_order_cpa(traces, pts, KEY, sbox, sbox_output_hypotheses)
+    assert res.success
+
+
+def test_second_order_cpa_on_synthetic_masked_leakage():
+    """Parallel-share leakage: power = HW(o^m) + HW(m); the mean is
+    constant but the variance depends on HW(o) — the centered-square
+    attack must recover the key."""
+    rng = np.random.default_rng(6)
+    n = 30000
+    pts = rng.integers(0, 2**63, n, dtype=np.uint64)
+    sbox = 1
+    guess = true_subkey(KEY, sbox)
+    hyps = sbox_output_hypotheses(pts, sbox)  # HW of unshared output
+    # rebuild output values from HW is not possible; instead use the
+    # model directly: simulate shares of a value with that HW profile
+    from repro.attacks.models import _sbox_out_values, round1_state
+
+    _, _, er0 = round1_state(pts)
+    out = _sbox_out_values(er0, sbox, guess)
+    mask = rng.integers(0, 16, n)
+    hw = lambda v: np.array([bin(int(x)).count("1") for x in v])
+    power = hw(out ^ mask) + hw(mask)
+    traces = np.zeros((n, 4))
+    traces[:, 2] = power + rng.normal(0, 0.5, n)
+    res1 = first_order_cpa(traces, pts, KEY, sbox, sbox_output_hypotheses)
+    res2 = second_order_cpa(traces, pts, KEY, sbox, sbox_output_hypotheses)
+    assert not res1.success or res1.scores[res1.best_guess] < 0.05
+    assert res2.success
+
+
+def test_attack_window_restriction():
+    rng = np.random.default_rng(7)
+    pts = rng.integers(0, 2**63, 800, dtype=np.uint64)
+    sbox = 0
+    guess = true_subkey(KEY, sbox)
+    hyps = sbox_output_hypotheses(pts, sbox)
+    traces = np.zeros((800, 10))
+    traces[:, 8] = hyps[guess]
+    traces += rng.normal(0, 0.3, traces.shape)
+    inside = first_order_cpa(
+        traces, pts, KEY, sbox, sbox_output_hypotheses, window=(6, 10)
+    )
+    outside = first_order_cpa(
+        traces, pts, KEY, sbox, sbox_output_hypotheses, window=(0, 5)
+    )
+    assert inside.success
+    assert outside.scores[guess] < 0.2

@@ -1,0 +1,153 @@
+"""Unit tests for the baseline masked AND gadgets (Trichina, DOM, TI)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import (
+    ShareTriple,
+    build_dom_indep,
+    build_trichina,
+    dom_dep_and,
+    dom_indep_and,
+    gadget_costs,
+    ti_and3,
+    trichina_and,
+)
+from repro.core.gadgets import SharePair
+from repro.netlist.circuit import Circuit
+from repro.sim.clocking import ClockedHarness
+from repro.sim.vectorsim import VectorSimulator
+
+
+def share_combos(k):
+    combos = np.array(list(itertools.product([0, 1], repeat=k)), dtype=bool)
+    return [combos[:, i] for i in range(k)]
+
+
+def test_trichina_netlist_exhaustive():
+    c = build_trichina()
+    x0, x1, y0, y1, r = share_combos(5)
+    sim = VectorSimulator(c, 32)
+    sim.evaluate_combinational({
+        c.wire("x0"): x0, c.wire("x1"): x1,
+        c.wire("y0"): y0, c.wire("y1"): y1, c.wire("r"): r,
+    })
+    out = sim.output_values()
+    assert np.array_equal(out["z0"] ^ out["z1"], (x0 ^ x1) & (y0 ^ y1))
+    assert np.array_equal(out["z1"], r)
+
+
+def test_trichina_uses_one_random_bit_and_more_gates_than_secand2():
+    """Sec. II: secAND2 needs fewer elementary operations than
+    Trichina's gadget and zero randomness."""
+    from repro.core.gadgets import build_secand2
+    from repro.netlist.area import area_ge
+
+    tri = build_trichina()
+    sec = build_secand2()
+    assert area_ge(tri) > area_ge(sec)
+
+
+def test_dom_indep_functional_two_cycles():
+    c = build_dom_indep()
+    x0, x1, y0, y1, r = share_combos(5)
+    h = ClockedHarness(c, 32, period_ps=1000)
+    h.step([
+        (0, c.wire("x0"), x0), (0, c.wire("x1"), x1),
+        (0, c.wire("y0"), y0), (0, c.wire("y1"), y1), (0, c.wire("r"), r),
+    ])
+    h.step([])  # register stage
+    out = h.output_values()
+    assert np.array_equal(out["z0"] ^ out["z1"], (x0 ^ x1) & (y0 ^ y1))
+
+
+def test_dom_indep_output_remasked():
+    """DOM's cross terms carry the fresh mask: flipping r flips both
+    output shares (the mask cancels in the recombination)."""
+    c = build_dom_indep()
+    x0, x1, y0, y1, _ = share_combos(5)
+
+    def run(rv):
+        h = ClockedHarness(c, 32, period_ps=1000)
+        h.step([
+            (0, c.wire("x0"), x0), (0, c.wire("x1"), x1),
+            (0, c.wire("y0"), y0), (0, c.wire("y1"), y1),
+            (0, c.wire("r"), np.full(32, rv)),
+        ])
+        h.step([])
+        return h.output_values()
+
+    o0 = run(False)
+    o1 = run(True)
+    assert np.array_equal(o0["z0"] ^ o0["z1"], o1["z0"] ^ o1["z1"])
+    assert np.array_equal(o0["z0"] ^ o1["z0"], np.ones(32, bool))
+
+
+def test_dom_dep_functional():
+    c = Circuit("domdep")
+    x0, x1, y0, y1 = c.add_inputs("x0", "x1", "y0", "y1")
+    r0, r1, r2 = c.add_inputs("r0", "r1", "r2")
+    z = dom_dep_and(c, SharePair(x0, x1), SharePair(y0, y1), (r0, r1, r2))
+    c.mark_output("z0", z.s0)
+    c.mark_output("z1", z.s1)
+    c.check()
+    vals = share_combos(7)
+    h = ClockedHarness(c, 128, period_ps=1000)
+    names = ["x0", "x1", "y0", "y1", "r0", "r1", "r2"]
+    h.step([(0, c.wire(n), v) for n, v in zip(names, vals)])
+    h.step([])  # refresh registers
+    h.step([])  # DOM core registers
+    out = h.output_values()
+    xv = vals[0] ^ vals[1]
+    yv = vals[2] ^ vals[3]
+    assert np.array_equal(out["z0"] ^ out["z1"], xv & yv)
+
+
+def test_ti_and3_functional_and_noncomplete():
+    c = Circuit("ti")
+    xs = ShareTriple(*c.add_inputs("x0", "x1", "x2"))
+    ys = ShareTriple(*c.add_inputs("y0", "y1", "y2"))
+    z = ti_and3(c, xs, ys)
+    for i, w in enumerate(z):
+        c.mark_output(f"z{i}", w)
+    c.check()
+    vals = share_combos(6)
+    h = ClockedHarness(c, 64, period_ps=1000)
+    names = ["x0", "x1", "x2", "y0", "y1", "y2"]
+    h.step([(0, c.wire(n), v) for n, v in zip(names, vals)])
+    h.step([])  # TI register layer
+    out = h.output_values()
+    xv = vals[0] ^ vals[1] ^ vals[2]
+    yv = vals[3] ^ vals[4] ^ vals[5]
+    assert np.array_equal(out["z0"] ^ out["z1"] ^ out["z2"], xv & yv)
+
+
+def test_ti_noncompleteness_structure():
+    """Each TI component function must omit one share index."""
+    c = Circuit("ti")
+    xs = ShareTriple(*c.add_inputs("x0", "x1", "x2"))
+    ys = ShareTriple(*c.add_inputs("y0", "y1", "y2"))
+    ti_and3(c, xs, ys)
+    # component i's AND gates must not read share i of either input
+    for i in range(3):
+        comp_ins = set()
+        for g in c.gates:
+            if g.name.startswith(f"ti_z{i}") and g.cell.name == "AND2":
+                comp_ins.update(c.wire_name(w) for w in g.inputs)
+        assert f"x{i}" not in comp_ins
+        assert f"y{i}" not in comp_ins
+
+
+def test_gadget_cost_table():
+    costs = {g.name: g for g in gadget_costs()}
+    assert costs["secAND2"].random_bits == 0
+    assert costs["secAND2-FF"].random_bits == 0
+    assert costs["secAND2-PD"].random_bits == 0
+    assert costs["Trichina"].random_bits == 1
+    assert costs["DOM-indep"].random_bits == 1
+    assert costs["DOM-indep"].n_ff == 2
+    assert costs["secAND2-FF"].n_ff == 1
+    # the PD gadget's area is dominated by its DelayUnits
+    assert costs["secAND2-PD"].area_ge > 3 * costs["secAND2"].area_ge

@@ -1,0 +1,113 @@
+"""Unit tests for the standard-cell library."""
+
+import numpy as np
+import pytest
+
+from repro.netlist.cells import (
+    CELL_LIBRARY,
+    DELAY_UNIT_ASIC_INVERTERS,
+    DELAY_UNIT_DEFAULT_LUTS,
+    LUT_DELAY_PS,
+    cell,
+    delay_unit_area_ge,
+    delay_unit_delay_ps,
+    is_sequential,
+)
+
+
+def test_library_has_expected_cells():
+    for name in ("INV", "BUF", "AND2", "OR2", "XOR2", "XNOR2", "NAND2",
+                 "NOR2", "ANDN2", "ORN2", "MUX2", "DELAY", "DFF", "DFFE"):
+        assert name in CELL_LIBRARY
+
+
+def test_cell_lookup_unknown_raises():
+    with pytest.raises(KeyError, match="unknown cell"):
+        cell("AND3")
+
+
+def test_cell_lookup_returns_same_object():
+    assert cell("XOR2") is CELL_LIBRARY["XOR2"]
+
+
+def test_sequential_flags():
+    assert is_sequential("DFF")
+    assert is_sequential("DFFE")
+    assert not is_sequential("AND2")
+    assert not is_sequential("DELAY")
+
+
+def test_nand2_is_area_unit():
+    assert cell("NAND2").area_ge == 1.0
+
+
+def test_all_combinational_cells_have_evaluator():
+    for ct in CELL_LIBRARY.values():
+        if not ct.sequential:
+            assert ct.evaluate is not None
+        else:
+            assert ct.evaluate is None
+
+
+@pytest.mark.parametrize(
+    "name,inputs,expected",
+    [
+        ("INV", (0,), 1),
+        ("INV", (1,), 0),
+        ("BUF", (1,), 1),
+        ("AND2", (1, 1), 1),
+        ("AND2", (1, 0), 0),
+        ("OR2", (0, 0), 0),
+        ("OR2", (1, 0), 1),
+        ("XOR2", (1, 1), 0),
+        ("XOR2", (1, 0), 1),
+        ("XNOR2", (1, 1), 1),
+        ("NAND2", (1, 1), 0),
+        ("NOR2", (0, 0), 1),
+        ("ANDN2", (1, 0), 1),   # a AND NOT b
+        ("ANDN2", (1, 1), 0),
+        ("ORN2", (0, 0), 1),    # a OR NOT b
+        ("ORN2", (0, 1), 0),
+        ("MUX2", (0, 1, 0), 1),  # sel=0 -> a
+        ("MUX2", (1, 1, 0), 0),  # sel=1 -> b
+        ("DELAY", (1,), 1),
+    ],
+)
+def test_cell_truth_tables(name, inputs, expected):
+    args = [np.array([bool(v)]) for v in inputs]
+    out = cell(name).evaluate(*args)
+    assert bool(out[0]) == bool(expected)
+
+
+def test_cell_evaluators_are_vectorised():
+    a = np.array([True, False, True, False])
+    b = np.array([True, True, False, False])
+    assert np.array_equal(cell("AND2").evaluate(a, b), a & b)
+    assert np.array_equal(cell("XOR2").evaluate(a, b), a ^ b)
+
+
+def test_delay_unit_delay_scales_linearly():
+    assert delay_unit_delay_ps(1) == LUT_DELAY_PS
+    assert delay_unit_delay_ps(10) == 10 * LUT_DELAY_PS
+    assert delay_unit_delay_ps(3) == 3 * delay_unit_delay_ps(1)
+
+
+def test_delay_unit_delay_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        delay_unit_delay_ps(0)
+    with pytest.raises(ValueError):
+        delay_unit_area_ge(-1)
+
+
+def test_delay_unit_area_matches_paper_estimate():
+    # paper: a 10-LUT DelayUnit is estimated as 120 inverters on ASIC
+    expected = DELAY_UNIT_ASIC_INVERTERS * cell("INV").area_ge
+    assert delay_unit_area_ge(DELAY_UNIT_DEFAULT_LUTS) == pytest.approx(expected)
+
+
+def test_delay_unit_area_scales_with_size():
+    assert delay_unit_area_ge(5) == pytest.approx(delay_unit_area_ge(10) / 2)
+
+
+def test_default_delay_unit_is_papers_optimum():
+    assert DELAY_UNIT_DEFAULT_LUTS == 10

@@ -1,0 +1,230 @@
+"""Unit tests for the circuit graph and builder API."""
+
+import numpy as np
+import pytest
+
+from repro.netlist.cells import LUT_DELAY_PS
+from repro.netlist.circuit import Circuit, CircuitError
+
+
+def small_circuit():
+    c = Circuit("t")
+    a, b = c.add_inputs("a", "b")
+    z = c.xor2(c.and2(a, b, name="g_and"), c.or2(a, b, name="g_or"), name="g_xor")
+    c.mark_output("z", z)
+    return c, a, b, z
+
+
+def test_wire_creation_and_lookup():
+    c = Circuit()
+    w = c.add_wire("foo")
+    assert c.wire("foo") == w
+    assert c.wire_name(w) == "foo"
+
+
+def test_duplicate_wire_rejected():
+    c = Circuit()
+    c.add_wire("foo")
+    with pytest.raises(CircuitError, match="already exists"):
+        c.add_wire("foo")
+
+
+def test_anonymous_wires_autonamed():
+    c = Circuit()
+    w1, w2 = c.add_wire(), c.add_wire()
+    assert w1 != w2
+    assert c.wire_name(w1) != c.wire_name(w2)
+
+
+def test_gate_wrong_arity_rejected():
+    c = Circuit()
+    a = c.add_input("a")
+    with pytest.raises(CircuitError, match="expects 2 inputs"):
+        c.add_gate("AND2", [a])
+
+
+def test_gate_unknown_input_wire_rejected():
+    c = Circuit()
+    with pytest.raises(CircuitError, match="does not exist"):
+        c.add_gate("INV", [42])
+
+
+def test_double_driver_rejected():
+    c = Circuit()
+    a = c.add_input("a")
+    z = c.inv(a)
+    with pytest.raises(CircuitError, match="already driven"):
+        c.add_gate("INV", [a], output=z)
+
+
+def test_driving_primary_input_rejected():
+    c = Circuit()
+    a, b = c.add_inputs("a", "b")
+    with pytest.raises(CircuitError, match="primary input"):
+        c.add_gate("INV", [b], output=a)
+
+
+def test_combinational_loop_detected():
+    c = Circuit()
+    a = c.add_input("a")
+    loop = c.add_wire("loop")
+    other = c.add_gate("AND2", [a, loop])
+    c.add_gate("INV", [other], output=loop)
+    with pytest.raises(CircuitError, match="loop"):
+        c.comb_order()
+
+
+def test_ff_breaks_loop():
+    c = Circuit()
+    d = c.add_wire("d")
+    q = c.dff(d, name="ff")
+    c.add_gate("INV", [q], output=d)  # classic toggle FF structure
+    c.check()  # no loop error: the FF breaks the cycle
+
+
+def test_comb_order_respects_dependencies():
+    c, a, b, z = small_circuit()
+    order = c.comb_order()
+    names = [c.gates[i].name for i in order]
+    assert names.index("g_xor") > names.index("g_and")
+    assert names.index("g_xor") > names.index("g_or")
+
+
+def test_check_flags_undriven_output():
+    c = Circuit()
+    w = c.add_wire("floating")
+    c.mark_output("z", w)
+    with pytest.raises(CircuitError, match="undriven"):
+        c.check()
+
+
+def test_duplicate_output_name_rejected():
+    c, a, b, z = small_circuit()
+    with pytest.raises(CircuitError, match="already declared"):
+        c.mark_output("z", z)
+
+
+def test_scope_prefixes_names():
+    c = Circuit()
+    a = c.add_input("a")
+    with c.scope("blk"):
+        w = c.add_wire("inner")
+        c.inv(a, name="g")
+    assert c.wire_name(w) == "blk.inner"
+    assert c.gates[-1].name == "blk.g"
+
+
+def test_nested_scopes():
+    c = Circuit()
+    with c.scope("outer"):
+        with c.scope("inner"):
+            w = c.add_wire("x")
+    assert c.wire_name(w) == "outer.inner.x"
+
+
+def test_xor_tree_single_wire_passthrough():
+    c = Circuit()
+    a = c.add_input("a")
+    assert c.xor_tree([a]) == a
+
+
+def test_xor_tree_empty_rejected():
+    c = Circuit()
+    with pytest.raises(CircuitError):
+        c.xor_tree([])
+
+
+@pytest.mark.parametrize("n", [2, 3, 4, 5, 7, 8])
+def test_xor_tree_uses_n_minus_1_gates(n):
+    c = Circuit()
+    wires = [c.add_input(f"i{k}") for k in range(n)]
+    c.xor_tree(wires)
+    assert len(c.gates) == n - 1
+
+
+def test_delay_line_zero_units_is_identity():
+    c = Circuit()
+    a = c.add_input("a")
+    assert c.delay_line(a, 0, 10) == a
+    assert len(c.gates) == 0
+
+
+def test_delay_line_delay_and_params():
+    c = Circuit()
+    a = c.add_input("a")
+    c.delay_line(a, 3, 10, name="dl")
+    g = c.gates[-1]
+    assert g.delay_ps == 3 * 10 * LUT_DELAY_PS
+    assert g.params["n_units"] == 3
+    assert g.params["n_luts"] == 10
+
+
+def test_delay_line_negative_units_rejected():
+    c = Circuit()
+    a = c.add_input("a")
+    with pytest.raises(CircuitError):
+        c.delay_line(a, -1, 10)
+
+
+def test_fanout_map():
+    c, a, b, z = small_circuit()
+    fo = c.fanout_map()
+    assert len(fo[a]) == 2  # a feeds AND and OR
+    assert z not in fo  # output drives nothing
+
+
+def test_cell_counts():
+    c, *_ = small_circuit()
+    assert c.cell_counts() == {"AND2": 1, "OR2": 1, "XOR2": 1}
+
+
+def test_ff_partition():
+    c = Circuit()
+    a = c.add_input("a")
+    q = c.dff(a)
+    c.inv(q)
+    assert len(c.ff_gates()) == 1
+    assert len(c.comb_gates()) == 1
+
+
+def test_dffe_reset_group_param():
+    c = Circuit()
+    a, en = c.add_inputs("a", "en")
+    c.dffe(a, en, name="ff", reset_group="gadget")
+    assert c.gates[-1].params["reset_group"] == "gadget"
+
+
+def test_repr_mentions_counts():
+    c, *_ = small_circuit()
+    assert "3 gates" in repr(c)
+    assert "2 inputs" in repr(c)
+
+
+def test_routing_jitter_is_deterministic():
+    def build(seed):
+        c = Circuit()
+        c.enable_routing_jitter(seed, gate_sigma_ps=50.0)
+        a, b = c.add_inputs("a", "b")
+        c.and2(a, b)
+        c.xor2(a, b)
+        return [g.delay_ps for g in c.gates]
+
+    assert build(1) == build(1)
+    assert build(1) != build(2)
+
+
+def test_routing_jitter_not_applied_to_ffs():
+    c = Circuit()
+    c.enable_routing_jitter(0, gate_sigma_ps=1e6)
+    a = c.add_input("a")
+    c.dff(a)
+    assert c.gates[-1].delay_ps == c.gates[-1].cell.delay_ps
+
+
+def test_routing_jitter_delay_sigma_applies_to_delay_cells():
+    c = Circuit()
+    c.enable_routing_jitter(7, gate_sigma_ps=0.0, delay_sigma_ps=500.0)
+    a = c.add_input("a")
+    c.delay_line(a, 1, 4)
+    nominal = 4 * LUT_DELAY_PS
+    assert c.gates[-1].delay_ps >= nominal  # jitter only adds

@@ -1,0 +1,130 @@
+"""Unit tests for the clocked simulation harness."""
+
+import numpy as np
+import pytest
+
+from repro.netlist.circuit import Circuit
+from repro.sim.clocking import ClockedHarness, TimingViolation
+from repro.sim.power import PowerRecorder
+
+
+def shift_register(n=3):
+    c = Circuit()
+    a = c.add_input("a")
+    w = a
+    for i in range(n):
+        w = c.dff(w, name=f"ff{i}")
+    c.mark_output("q", w)
+    return c, a
+
+
+def test_dff_shifts_one_per_cycle():
+    c, a = shift_register(2)
+    h = ClockedHarness(c, 1, period_ps=500)
+    h.step([(0, a, True)])  # a=1 applied during cycle 0
+    assert not h.output_values()["q"][0]
+    h.step([])  # edge: ff0 samples 1
+    assert not h.output_values()["q"][0]
+    h.step([])  # edge: ff1 samples 1
+    assert h.output_values()["q"][0]
+
+
+def test_dffe_holds_without_enable():
+    c = Circuit()
+    a, en = c.add_inputs("a", "en")
+    q = c.dffe(a, en, name="ff")
+    c.mark_output("q", q)
+    h = ClockedHarness(c, 1, period_ps=500)
+    h.step([(0, a, True), (0, en, False)])
+    h.step([])  # edge: EN low -> holds 0
+    assert not h.output_values()["q"][0]
+    h.step([(0, en, True)])
+    h.step([])  # edge with EN high -> samples
+    assert h.output_values()["q"][0]
+
+
+def test_reset_ffs_global():
+    c, a = shift_register(1)
+    h = ClockedHarness(c, 1, period_ps=500)
+    h.step([(0, a, True)])
+    h.step([])
+    assert h.ff_state("ff0")[0]
+    h.step([], reset_ffs=True)
+    assert not h.ff_state("ff0")[0]
+
+
+def test_reset_groups_selective():
+    c = Circuit()
+    a = c.add_input("a")
+    c.dff(a, name="plain")
+    c.dff(a, name="gadget_ff", reset_group="gadget")
+    h = ClockedHarness(c, 1, period_ps=500)
+    h.step([(0, a, True)])
+    h.step([])  # both sample 1
+    h.step([], reset_groups=("gadget",))
+    assert h.ff_state("plain")[0]
+    assert not h.ff_state("gadget_ff")[0]
+
+
+def test_preload_sets_state_silently():
+    c, a = shift_register(2)
+    h = ClockedHarness(c, 4, period_ps=500)
+    vals = np.array([1, 0, 1, 0], bool)
+    h.preload({"ff0": vals}, {a: np.zeros(4, bool)})
+    assert np.array_equal(h.ff_state("ff0"), vals)
+    # the preloaded value propagates on the next edge
+    h.step([])
+    assert np.array_equal(h.ff_state("ff1"), vals)
+
+
+def test_timing_violation_detected():
+    c = Circuit()
+    a = c.add_input("a")
+    w = a
+    for _ in range(10):
+        w = c.buf(w)  # 10 x 24 ps = 240 ps
+    c.dff(w)
+    h = ClockedHarness(c, 1, period_ps=100, check_timing=True)
+    with pytest.raises(TimingViolation):
+        h.step([(0, a, True)])
+
+
+def test_timing_check_can_be_disabled():
+    c = Circuit()
+    a = c.add_input("a")
+    w = a
+    for _ in range(10):
+        w = c.buf(w)
+    c.dff(w)
+    h = ClockedHarness(c, 1, period_ps=100, check_timing=False)
+    h.step([(0, a, True)])  # no exception
+
+
+def test_power_bins_span_cycles():
+    c, a = shift_register(1)
+    h = ClockedHarness(c, 1, period_ps=1000)
+    rec = PowerRecorder(1, h.total_time_ps(3), bin_ps=1000, weights=h.sim.weights)
+    h.step([(0, a, True)], recorder=rec)
+    h.step([], recorder=rec)
+    h.step([], recorder=rec)
+    # input toggle in cycle 0, FF output toggle in cycle 1
+    assert rec.power[0, 0] > 0
+    assert rec.power[0, 1] > 0
+
+
+def test_run_schedule():
+    c, a = shift_register(2)
+    h = ClockedHarness(c, 1, period_ps=500)
+    h.run([[(0, a, True)], [], []])
+    assert h.cycle == 3
+    assert h.output_values()["q"][0]
+
+
+def test_reset_harness():
+    c, a = shift_register(1)
+    h = ClockedHarness(c, 1, period_ps=500)
+    h.step([(0, a, True)])
+    h.step([])
+    h.reset()
+    assert h.cycle == 0
+    assert not h.ff_state("ff0")[0]

@@ -1,0 +1,229 @@
+"""Unit tests for the composition rules of Sec. III."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.composition import (
+    insecure_f_xy,
+    pd_delay_schedule,
+    product_chain_pd,
+    product_tree_ff,
+    secure_f_xy,
+    tree_latency_cycles,
+)
+from repro.core.gadgets import SharePair
+from repro.core.shares import share
+from repro.netlist.circuit import Circuit
+from repro.netlist.safety import check_secand2_ordering
+from repro.sim.clocking import ClockedHarness
+from repro.sim.vectorsim import VectorSimulator
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+# ----------------------------------------------------------------------
+# delay schedules (Table II)
+# ----------------------------------------------------------------------
+def test_schedule_matches_table2_n3():
+    assert pd_delay_schedule(3) == {
+        (2, 0): 0, (1, 0): 1, (0, 0): 2, (0, 1): 2, (1, 1): 3, (2, 1): 4,
+    }
+
+
+def test_schedule_matches_table2_n4():
+    assert pd_delay_schedule(4) == {
+        (3, 0): 0, (2, 0): 1, (1, 0): 2, (0, 0): 3, (0, 1): 3,
+        (1, 1): 4, (2, 1): 5, (3, 1): 6,
+    }
+
+
+def test_schedule_rejects_trivial():
+    with pytest.raises(ValueError):
+        pd_delay_schedule(1)
+
+
+@given(st.integers(min_value=2, max_value=10))
+@settings(max_examples=20, deadline=None)
+def test_schedule_safety_invariants(n):
+    """For every variable v_i (i>0): share 0 arrives before both shares
+    of every inner variable, and share 1 after them — the generalised
+    Table II safety property."""
+    sched = pd_delay_schedule(n)
+    for i in range(1, n):
+        inner_max = max(
+            max(sched[(j, 0)], sched[(j, 1)]) for j in range(0, i)
+        )
+        inner_min = min(
+            min(sched[(j, 0)], sched[(j, 1)]) for j in range(0, i)
+        )
+        assert sched[(i, 1)] > inner_max
+        assert sched[(i, 0)] < inner_min or i == 0
+
+
+@given(st.integers(min_value=2, max_value=10))
+@settings(max_examples=20, deadline=None)
+def test_schedule_innermost_shares_together(n):
+    sched = pd_delay_schedule(n)
+    assert sched[(0, 0)] == sched[(0, 1)] == n - 1
+
+
+def test_tree_latency_formula():
+    # Sec. III-A: log2(n) + 1 cycles
+    assert tree_latency_cycles(2) == 2
+    assert tree_latency_cycles(3) == 3
+    assert tree_latency_cycles(4) == 3
+    assert tree_latency_cycles(8) == 4
+    with pytest.raises(ValueError):
+        tree_latency_cycles(1)
+
+
+# ----------------------------------------------------------------------
+# product tree (secAND2-FF, Fig. 4)
+# ----------------------------------------------------------------------
+def build_tree(n_vars):
+    c = Circuit("tree")
+    ops = [
+        SharePair(c.add_input(f"v{i}s0"), c.add_input(f"v{i}s1"))
+        for i in range(n_vars)
+    ]
+    tree = product_tree_ff(c, ops)
+    c.mark_output("z0", tree.output.s0)
+    c.mark_output("z1", tree.output.s1)
+    c.check()
+    return c, tree
+
+
+@pytest.mark.parametrize("n_vars", [2, 3, 4, 5, 8])
+def test_tree_structure(n_vars):
+    c, tree = build_tree(n_vars)
+    assert tree.n_gadgets == n_vars - 1
+    assert tree.latency_cycles == tree_latency_cycles(n_vars)
+    assert len(tree.layer_enables) == tree.latency_cycles - 1
+
+
+@pytest.mark.parametrize("n_vars", [2, 4])
+def test_tree_functional_with_layered_enables(n_vars):
+    """Drive the Fig. 4 schedule: inputs in cycle 1, then one enable
+    layer per cycle; the product appears after latency cycles."""
+    c, tree = build_tree(n_vars)
+    n = 512
+    r = rng(7)
+    vals = []
+    events = []
+    for i in range(n_vars):
+        v = r.integers(0, 2, n).astype(bool)
+        s0, s1 = share(v, r)
+        vals.append(v)
+        events += [(0, c.wire(f"v{i}s0"), s0), (0, c.wire(f"v{i}s1"), s1)]
+    h = ClockedHarness(c, n, period_ps=2000)
+    h.step(events + [(10, en, True) for en in tree.layer_enables[:1]])
+    for k in range(1, len(tree.layer_enables) + 1):
+        ev = []
+        if k < len(tree.layer_enables):
+            ev.append((10, tree.layer_enables[k], True))
+        if k >= 1:
+            ev.append((10, tree.layer_enables[k - 1], False))
+        h.step(ev)
+    out = h.output_values()
+    expect = vals[0]
+    for v in vals[1:]:
+        expect = expect & v
+    assert np.array_equal(out["z0"] ^ out["z1"], expect)
+
+
+# ----------------------------------------------------------------------
+# product chain (secAND2-PD, Fig. 6)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("n_vars", [2, 3, 4, 5])
+def test_chain_functional(n_vars):
+    c = Circuit("chain")
+    ops = [
+        SharePair(c.add_input(f"v{i}s0"), c.add_input(f"v{i}s1"))
+        for i in range(n_vars)
+    ]
+    z = product_chain_pd(c, ops, n_luts=2)
+    c.mark_output("z0", z.s0)
+    c.mark_output("z1", z.s1)
+    c.check()
+    n = 256
+    r = rng(3)
+    vals, assign = [], {}
+    for i in range(n_vars):
+        v = r.integers(0, 2, n).astype(bool)
+        s0, s1 = share(v, r)
+        vals.append(v)
+        assign[c.wire(f"v{i}s0")] = s0
+        assign[c.wire(f"v{i}s1")] = s1
+    sim = VectorSimulator(c, n)
+    sim.evaluate_combinational(assign)
+    out = sim.output_values()
+    expect = vals[0]
+    for v in vals[1:]:
+        expect = expect & v
+    assert np.array_equal(out["z0"] ^ out["z1"], expect)
+
+
+@pytest.mark.parametrize("n_vars", [2, 3, 4])
+def test_chain_gadget_count_and_static_safety(n_vars):
+    c = Circuit("chain")
+    ops = [
+        SharePair(c.add_input(f"v{i}s0"), c.add_input(f"v{i}s1"))
+        for i in range(n_vars)
+    ]
+    product_chain_pd(c, ops, n_luts=4)
+    assert len(c.annotations["secand2"]) == n_vars - 1
+    assert check_secand2_ordering(c) == []
+
+
+# ----------------------------------------------------------------------
+# f = x ^ y ^ x.y (Fig. 7)
+# ----------------------------------------------------------------------
+def _run_f(c, with_mask):
+    n = 100_000
+    r = rng(11)
+    x = r.integers(0, 2, n).astype(bool)
+    y = r.integers(0, 2, n).astype(bool)
+    x0, x1 = share(x, r)
+    y0, y1 = share(y, r)
+    assign = {
+        c.wire("x0"): x0, c.wire("x1"): x1,
+        c.wire("y0"): y0, c.wire("y1"): y1,
+    }
+    if with_mask:
+        assign[c.wire("m")] = r.integers(0, 2, n).astype(bool)
+    sim = VectorSimulator(c, n)
+    sim.evaluate_combinational(assign)
+    out = sim.output_values()
+    f = x ^ y ^ (x & y)
+    return out["f0"], out["f1"], f, x, y
+
+
+def test_secure_f_functional():
+    f0, f1, f, x, y = _run_f(secure_f_xy(), with_mask=True)
+    assert np.array_equal(f0 ^ f1, f)
+
+
+def test_insecure_f_functional():
+    f0, f1, f, x, y = _run_f(insecure_f_xy(), with_mask=False)
+    assert np.array_equal(f0 ^ f1, f)
+
+
+def test_refresh_is_load_bearing():
+    """Sec. III-C: without the refresh, the masked output share f0 has a
+    data-dependent distribution; with it, f0 is balanced for every
+    (x, y).  This is exactly why Fig. 7 inserts the refresh."""
+    f0_bad, _, _, x, y = _run_f(insecure_f_xy(), with_mask=False)
+    p_bad = [
+        f0_bad[(x == a) & (y == b)].mean() for a in (0, 1) for b in (0, 1)
+    ]
+    assert max(p_bad) - min(p_bad) > 0.2  # insecure: biased share
+
+    f0_ok, _, _, x, y = _run_f(secure_f_xy(), with_mask=True)
+    p_ok = [
+        f0_ok[(x == a) & (y == b)].mean() for a in (0, 1) for b in (0, 1)
+    ]
+    assert max(p_ok) - min(p_ok) < 0.02  # secure: balanced share

@@ -1,0 +1,86 @@
+"""Unit and property tests for the bit-vector helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.des.bits import (
+    bitarray_to_ints,
+    bits_to_int,
+    int_to_bitarray,
+    int_to_bits,
+    permute_int,
+    permute_rows,
+)
+from repro.des.tables import IP, FP
+
+
+def test_int_to_bits_msb_first():
+    assert int_to_bits(0b1010, 4) == [1, 0, 1, 0]
+    assert int_to_bits(1, 4) == [0, 0, 0, 1]
+
+
+def test_bits_to_int_roundtrip_small():
+    assert bits_to_int([1, 0, 1, 0]) == 0b1010
+
+
+@given(st.integers(min_value=0, max_value=2**64 - 1))
+@settings(max_examples=50, deadline=None)
+def test_scalar_roundtrip_property(v):
+    assert bits_to_int(int_to_bits(v, 64)) == v
+
+
+@given(st.integers(min_value=0, max_value=2**63 - 1))
+@settings(max_examples=50, deadline=None)
+def test_bitarray_roundtrip_property(v):
+    arr = int_to_bitarray(np.array([v], dtype=np.uint64), 64)
+    assert int(bitarray_to_ints(arr)[0]) == v
+
+
+def test_int_to_bitarray_scalar_broadcast():
+    arr = int_to_bitarray(5, 4, n=3)
+    assert arr.shape == (4, 3)
+    assert np.array_equal(arr[:, 0], arr[:, 2])
+    assert int(bitarray_to_ints(arr)[1]) == 5
+
+
+def test_int_to_bitarray_scalar_requires_n():
+    with pytest.raises(ValueError):
+        int_to_bitarray(5, 4)
+
+
+def test_bitarray_to_ints_width_limit():
+    with pytest.raises(ValueError):
+        bitarray_to_ints(np.zeros((65, 1), bool))
+
+
+def test_permute_int_identity():
+    ident = tuple(range(1, 9))
+    assert permute_int(0xA5, ident, 8) == 0xA5
+
+
+def test_permute_int_reverse():
+    rev = tuple(range(8, 0, -1))
+    assert permute_int(0b10000000, rev, 8) == 0b00000001
+
+
+@given(st.integers(min_value=0, max_value=2**64 - 1))
+@settings(max_examples=50, deadline=None)
+def test_permute_ip_fp_inverse_property(v):
+    assert permute_int(permute_int(v, IP, 64), FP, 64) == v
+
+
+@given(st.integers(min_value=0, max_value=2**63 - 1))
+@settings(max_examples=30, deadline=None)
+def test_permute_rows_matches_permute_int(v):
+    arr = int_to_bitarray(np.array([v], dtype=np.uint64), 64)
+    via_rows = int(bitarray_to_ints(permute_rows(arr, IP))[0])
+    assert via_rows == permute_int(v, IP, 64)
+
+
+def test_permute_rows_shape():
+    arr = np.zeros((32, 7), bool)
+    from repro.des.tables import E
+
+    assert permute_rows(arr, E).shape == (48, 7)

@@ -1,0 +1,69 @@
+"""Sanity tests for the DES standard tables."""
+
+import pytest
+
+from repro.des.tables import E, FP, IP, P, PC1, PC2, SBOXES, SHIFTS
+
+
+def test_table_sizes():
+    assert len(IP) == 64
+    assert len(FP) == 64
+    assert len(E) == 48
+    assert len(P) == 32
+    assert len(PC1) == 56
+    assert len(PC2) == 48
+    assert len(SHIFTS) == 16
+    assert len(SBOXES) == 8
+
+
+def test_ip_fp_are_inverse_permutations():
+    # FP[IP^-1] round-trips every bit position
+    for out_pos, src in enumerate(FP):
+        assert IP[src - 1] == out_pos + 1
+
+
+def test_ip_is_permutation():
+    assert sorted(IP) == list(range(1, 65))
+    assert sorted(FP) == list(range(1, 65))
+    assert sorted(P) == list(range(1, 33))
+
+
+def test_pc1_drops_parity_bits():
+    parity = {8, 16, 24, 32, 40, 48, 56, 64}
+    assert parity.isdisjoint(set(PC1))
+    assert len(set(PC1)) == 56
+
+
+def test_pc2_selects_from_56():
+    assert len(set(PC2)) == 48
+    assert max(PC2) <= 56
+    assert min(PC2) >= 1
+
+
+def test_e_expansion_structure():
+    # every input bit of R appears at least once, edges twice
+    assert set(E) == set(range(1, 33))
+    from collections import Counter
+
+    counts = Counter(E)
+    assert sum(1 for v in counts.values() if v == 2) == 16
+
+
+def test_shift_total_is_28():
+    # after 16 rounds the key registers return to their start position
+    assert sum(SHIFTS) == 28
+
+
+def test_sbox_rows_are_4bit_permutations():
+    """Each row must be a permutation of 0..15 — the property that
+    bounds the mini S-box ANF degree at 3 (Sec. IV-A)."""
+    for box in SBOXES:
+        assert len(box) == 4
+        for row in box:
+            assert sorted(row) == list(range(16))
+
+
+def test_sbox1_first_row_spot_values():
+    assert SBOXES[0][0][0] == 14
+    assert SBOXES[0][0][15] == 7
+    assert SBOXES[7][3][15] == 11

@@ -1,0 +1,236 @@
+"""Unit tests for the secAND2 gadget family (Eq. 2 / Figs. 1-3)."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.gadgets import (
+    PD_DELAY_UNITS,
+    SharePair,
+    build_secand2,
+    build_secand2_ff,
+    build_secand2_pd,
+    masked_not,
+    masked_xor,
+    refresh,
+    secand2,
+    secand2_func,
+    trichina_func,
+)
+from repro.netlist.circuit import Circuit
+from repro.sim.clocking import ClockedHarness
+from repro.sim.vectorsim import VectorSimulator
+
+
+def all_share_combinations():
+    """All 16 share assignments as one vectorised batch."""
+    combos = np.array(list(itertools.product([0, 1], repeat=4)), dtype=bool)
+    return combos[:, 0], combos[:, 1], combos[:, 2], combos[:, 3]
+
+
+def test_secand2_func_exhaustive():
+    """Eq. 2 computes x AND y for every share assignment."""
+    x0, x1, y0, y1 = all_share_combinations()
+    z0, z1 = secand2_func(x0, x1, y0, y1)
+    assert np.array_equal(z0 ^ z1, (x0 ^ x1) & (y0 ^ y1))
+
+
+def test_secand2_func_needs_no_randomness():
+    """Determinism: same shares always give the same output shares."""
+    x0, x1, y0, y1 = all_share_combinations()
+    a = secand2_func(x0, x1, y0, y1)
+    b = secand2_func(x0, x1, y0, y1)
+    assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+
+
+def test_secand2_output_not_independent_of_inputs():
+    """The documented caveat (Sec. III-C): without fresh randomness the
+    output sharing is a *deterministic* function of the input shares —
+    e.g. whenever y = 0, z0 equals NOT y0 exactly."""
+    rng = np.random.default_rng(0)
+    n = 50_000
+    x = rng.integers(0, 2, n).astype(bool)
+    y = np.zeros(n, dtype=bool)
+    x0 = rng.integers(0, 2, n).astype(bool)
+    y0 = rng.integers(0, 2, n).astype(bool)
+    z0, z1 = secand2_func(x0, x ^ x0, y0, y ^ y0)
+    assert np.array_equal(z0, ~y0)  # perfectly correlated with a share
+    # and jointly the output shares reveal x AND y by construction
+    assert np.array_equal(z0 ^ z1, x & y)
+
+
+def test_trichina_func_exhaustive():
+    x0, x1, y0, y1 = all_share_combinations()
+    for r in (False, True):
+        rv = np.full(16, r)
+        z0, z1 = trichina_func(x0, x1, y0, y1, rv)
+        assert np.array_equal(z0 ^ z1, (x0 ^ x1) & (y0 ^ y1))
+
+
+def test_secand2_netlist_matches_func():
+    c = build_secand2()
+    x0, x1, y0, y1 = all_share_combinations()
+    sim = VectorSimulator(c, 16)
+    sim.evaluate_combinational(
+        {c.wire("x0"): x0, c.wire("x1"): x1, c.wire("y0"): y0, c.wire("y1"): y1}
+    )
+    out = sim.output_values()
+    f0, f1 = secand2_func(x0, x1, y0, y1)
+    assert np.array_equal(out["z0_0"], f0)
+    assert np.array_equal(out["z1_0"], f1)
+
+
+def test_secand2_gate_inventory_lut_style():
+    """FPGA mapping: each output share is one LUT (SECAND2L)."""
+    c = build_secand2()
+    assert c.cell_counts() == {"SECAND2L": 2}
+
+
+def test_secand2_gate_inventory_discrete_style():
+    """Fig. 1 ASIC netlist: 1 INV + 2 AND2 + 2 OR2 + 2 XOR2."""
+    c = build_secand2(style="gates")
+    assert c.cell_counts() == {"AND2": 2, "INV": 1, "OR2": 2, "XOR2": 2}
+
+
+def test_secand2_styles_functionally_identical():
+    import numpy as np
+    from repro.sim.vectorsim import VectorSimulator
+
+    x0, x1, y0, y1 = all_share_combinations()
+    outs = []
+    for style in ("lut", "gates"):
+        c = build_secand2(style=style)
+        sim = VectorSimulator(c, 16)
+        sim.evaluate_combinational({
+            c.wire("x0"): x0, c.wire("x1"): x1,
+            c.wire("y0"): y0, c.wire("y1"): y1,
+        })
+        outs.append(sim.output_values())
+    assert np.array_equal(outs[0]["z0_0"], outs[1]["z0_0"])
+    assert np.array_equal(outs[0]["z1_0"], outs[1]["z1_0"])
+
+
+def test_secand2_bank_replication():
+    c = build_secand2(n_instances=4)
+    assert c.cell_counts()["SECAND2L"] == 8
+    assert len(c.outputs) == 8
+
+
+def test_secand2_ff_has_internal_ff_with_reset_group():
+    c = build_secand2_ff()
+    ffs = c.ff_gates()
+    assert len(ffs) == 1
+    assert ffs[0].params.get("reset_group") == "gadget"
+
+
+def test_secand2_ff_two_cycle_evaluation():
+    """secAND2-FF: y1 is sampled one cycle later; result valid after
+    two cycles (the paper's 2-cycle multiplication)."""
+    c = build_secand2_ff()
+    x0, x1, y0, y1 = all_share_combinations()
+    h = ClockedHarness(c, 16, period_ps=1000)
+    h.step([
+        (0, c.wire("x0"), x0), (0, c.wire("x1"), x1),
+        (0, c.wire("y0"), y0), (0, c.wire("y1"), y1),
+    ])
+    h.step([])  # edge: internal FF samples y1
+    out = h.output_values()
+    f0, f1 = secand2_func(x0, x1, y0, y1)
+    assert np.array_equal(out["z0"], f0)
+    assert np.array_equal(out["z1"], f1)
+
+
+def test_secand2_pd_delay_schedule():
+    """Fig. 3: y0 undelayed, x0/x1 one unit, y1 two units."""
+    assert PD_DELAY_UNITS == {"y0": 0, "x0": 1, "x1": 1, "y1": 2}
+    c = build_secand2_pd(n_luts=10)
+    delays = {
+        g.name: g.params.get("n_units")
+        for g in c.gates
+        if g.cell.name == "DELAY"
+    }
+    assert delays["secand2pd_dl_x0"] == 1
+    assert delays["secand2pd_dl_x1"] == 1
+    assert delays["secand2pd_dl_y1"] == 2
+    assert "secand2pd_dl_y0" not in delays  # zero units -> no gate
+
+
+def test_secand2_pd_single_settle_correct():
+    c = build_secand2_pd(n_luts=2)
+    x0, x1, y0, y1 = all_share_combinations()
+    sim = VectorSimulator(c, 16)
+    sim.settle([
+        (0, c.wire("x0"), x0), (0, c.wire("x1"), x1),
+        (0, c.wire("y0"), y0), (0, c.wire("y1"), y1),
+    ])
+    out = sim.output_values()
+    f0, f1 = secand2_func(x0, x1, y0, y1)
+    assert np.array_equal(out["z0"], f0)
+    assert np.array_equal(out["z1"], f1)
+
+
+def test_secand2_pd_statically_safe():
+    from repro.netlist.safety import check_secand2_ordering
+
+    c = build_secand2_pd(n_luts=10)
+    assert check_secand2_ordering(c) == []
+
+
+def test_secand2_annotation_registered():
+    c = build_secand2()
+    anns = c.annotations["secand2"]
+    assert len(anns) == 1
+    assert set(anns[0]) == {"tag", "x0", "x1", "y0", "y1"}
+
+
+def test_masked_xor_and_not():
+    c = Circuit()
+    x = SharePair(*c.add_inputs("x0", "x1"))
+    y = SharePair(*c.add_inputs("y0", "y1"))
+    zx = masked_xor(c, x, y)
+    zn = masked_not(c, x)
+    c.mark_output("zx0", zx.s0)
+    c.mark_output("zx1", zx.s1)
+    c.mark_output("zn0", zn.s0)
+    c.mark_output("zn1", zn.s1)
+    x0, x1, y0, y1 = all_share_combinations()
+    sim = VectorSimulator(c, 16)
+    sim.evaluate_combinational(
+        {c.wire("x0"): x0, c.wire("x1"): x1, c.wire("y0"): y0, c.wire("y1"): y1}
+    )
+    out = sim.output_values()
+    assert np.array_equal(out["zx0"] ^ out["zx1"], (x0 ^ x1) ^ (y0 ^ y1))
+    assert np.array_equal(out["zn0"] ^ out["zn1"], ~(x0 ^ x1))
+
+
+def test_refresh_preserves_value_and_remasks():
+    c = Circuit()
+    x = SharePair(*c.add_inputs("x0", "x1"))
+    m = c.add_input("m")
+    z = refresh(c, x, m)
+    c.mark_output("z0", z.s0)
+    c.mark_output("z1", z.s1)
+    rng = np.random.default_rng(0)
+    n = 1000
+    x0 = rng.integers(0, 2, n).astype(bool)
+    x1 = rng.integers(0, 2, n).astype(bool)
+    mv = rng.integers(0, 2, n).astype(bool)
+    sim = VectorSimulator(c, n)
+    sim.evaluate_combinational({c.wire("x0"): x0, c.wire("x1"): x1, c.wire("m"): mv})
+    out = sim.output_values()
+    assert np.array_equal(out["z0"] ^ out["z1"], x0 ^ x1)
+    assert np.array_equal(out["z0"], x0 ^ mv)
+
+
+@given(st.integers(0, 1), st.integers(0, 1), st.integers(0, 1), st.integers(0, 1))
+@settings(max_examples=16, deadline=None)
+def test_secand2_func_scalar_property(x0, x1, y0, y1):
+    a = np.array([bool(x0)])
+    b = np.array([bool(x1)])
+    cc = np.array([bool(y0)])
+    d = np.array([bool(y1)])
+    z0, z1 = secand2_func(a, b, cc, d)
+    assert bool(z0[0] ^ z1[0]) == ((x0 ^ x1) and (y0 ^ y1))

@@ -1,0 +1,69 @@
+"""Tests for the (masked) key schedule."""
+
+import numpy as np
+import pytest
+
+from repro.des.bits import int_to_bitarray
+from repro.des.keyschedule import (
+    masked_round_keys_bits,
+    rotate_left28,
+    round_keys,
+    round_keys_bits,
+)
+
+
+def test_rotate_left28():
+    assert rotate_left28(1 << 27, 1) == 1
+    assert rotate_left28(0b11, 2) == 0b1100
+    assert rotate_left28(0xFFFFFFF, 5) == 0xFFFFFFF
+
+
+def test_round_keys_count_and_width():
+    keys = round_keys(0x133457799BBCDFF1)
+    assert len(keys) == 16
+    assert all(0 <= k < 1 << 48 for k in keys)
+
+
+def test_round_keys_known_first_and_last():
+    """K1 and K16 for the classic 0x133457799BBCDFF1 key."""
+    keys = round_keys(0x133457799BBCDFF1)
+    assert keys[0] == 0b000110110000001011101111111111000111000001110010
+    assert keys[15] == 0b110010110011110110001011000011100001011111110101
+
+
+def test_round_keys_bits_matches_scalar():
+    rng = np.random.default_rng(0)
+    kv = rng.integers(0, 2**63, 16, dtype=np.uint64)
+    bit_keys = round_keys_bits(int_to_bitarray(kv, 64))
+    assert len(bit_keys) == 16
+    for i, kb in enumerate(bit_keys):
+        assert kb.shape == (48, 16)
+        for t in range(16):
+            scalar = round_keys(int(kv[t]))[i]
+            got = 0
+            for b in range(48):
+                got = (got << 1) | int(kb[b, t])
+            assert got == scalar
+
+
+def test_masked_schedule_recombines():
+    rng = np.random.default_rng(1)
+    kv = rng.integers(0, 2**63, 8, dtype=np.uint64)
+    kb = int_to_bitarray(kv, 64)
+    mask = rng.integers(0, 2, kb.shape).astype(bool)
+    masked = masked_round_keys_bits(kb ^ mask, mask)
+    plain = round_keys_bits(kb)
+    for (k0, k1), ref in zip(masked, plain):
+        assert np.array_equal(k0 ^ k1, ref)
+
+
+def test_masked_schedule_shares_dont_leak_key():
+    """Each share of each round key is uniformly distributed."""
+    rng = np.random.default_rng(2)
+    n = 20000
+    kb = int_to_bitarray(np.uint64(0x133457799BBCDFF1), 64, n)
+    mask = rng.integers(0, 2, kb.shape).astype(bool)
+    masked = masked_round_keys_bits(kb ^ mask, mask)
+    k0, k1 = masked[0]
+    assert abs(k0.mean() - 0.5) < 0.01
+    assert abs(k1.mean() - 0.5) < 0.01

@@ -1,0 +1,98 @@
+"""Integration tests of the paper's headline security claims.
+
+These run real (reduced-budget) TVLA campaigns on the gate-level
+engines, so they are the slowest tests in the suite; each asserts one
+qualitative result of Sec. VII.  The full-budget campaigns live in
+``examples/reproduce_paper.py`` and the benchmark harness.
+"""
+
+import numpy as np
+import pytest
+
+from repro.des.engines import DESTraceSource, MaskedDESNetlistEngine
+from repro.leakage.acquisition import (
+    CampaignConfig,
+    detect_leakage_traces,
+    run_campaign,
+)
+
+FIXED = 0x0123456789ABCDEF
+KEY = 0x133457799BBCDFF1
+
+_ENGINES = {}
+
+
+def engine(variant, n_luts=10):
+    key = (variant, n_luts)
+    if key not in _ENGINES:
+        _ENGINES[key] = MaskedDESNetlistEngine(variant, n_luts=n_luts)
+    return _ENGINES[key]
+
+
+def campaign(src, n_traces, seed=11, sigma=2.0):
+    return run_campaign(
+        src,
+        CampaignConfig(
+            n_traces=n_traces, batch_size=2000, noise_sigma=sigma, seed=seed
+        ),
+    )
+
+
+def test_ff_prng_off_leaks_fast():
+    """Fig. 14a: with masking disabled, first-order leakage is
+    detected within a few thousand traces — the sanity check that the
+    whole simulation/TVLA chain can see leaks at all."""
+    src = DESTraceSource(engine("ff"), FIXED, KEY, prng_enabled=False)
+    detected, res = detect_leakage_traces(
+        src, CampaignConfig(n_traces=4000, batch_size=1000, noise_sigma=2.0, seed=1)
+    )
+    assert detected is not None and detected <= 4000
+    assert res.max_abs(1) > 20
+
+
+def test_ff_prng_on_first_order_clean_second_order_leaky():
+    """Fig. 14b-d: no first-order evidence, pronounced second order."""
+    src = DESTraceSource(engine("ff"), FIXED, KEY, prng_enabled=True)
+    res = campaign(src, 10_000)
+    assert not res.leaks(1)
+    assert res.leaks(2)
+
+
+def test_pd_small_delayunit_leaks_first_order():
+    """Fig. 15a: a 1-LUT DelayUnit cannot preserve the arrival order
+    against routing skew -> pronounced first-order leakage."""
+    src = DESTraceSource(engine("pd", n_luts=1), FIXED, KEY)
+    res = campaign(src, 6_000)
+    assert res.leaks(1)
+    assert res.max_abs(1) > 8
+
+
+def test_pd_optimal_delayunit_first_order_clean():
+    """Fig. 15e/17: at the optimal 10-LUT DelayUnit (and without
+    physical coupling) the PD engine shows no first-order evidence."""
+    src = DESTraceSource(engine("pd", n_luts=10), FIXED, KEY)
+    res = campaign(src, 8_000, seed=13)
+    assert not res.leaks(1)
+    assert res.leaks(2)  # two shares: higher-order leakage remains
+
+
+def test_pd_coupling_restores_first_order_leak():
+    """Fig. 17 / Sec. VII-C: with coupling between the share delay
+    lines, the statically-safe PD engine leaks in the first order."""
+    src = DESTraceSource(
+        engine("pd", n_luts=10), FIXED, KEY, coupling_coefficient=5.0
+    )
+    detected, res = detect_leakage_traces(
+        src,
+        CampaignConfig(n_traces=12_000, batch_size=2000, noise_sigma=2.0, seed=7),
+    )
+    assert detected is not None
+
+
+def test_leakage_ordering_pd_sweep():
+    """Fig. 15 trend on two points: 1 LUT leaks much harder than 10."""
+    small = campaign(DESTraceSource(engine("pd", n_luts=1), FIXED, KEY), 4_000)
+    large = campaign(
+        DESTraceSource(engine("pd", n_luts=10), FIXED, KEY), 4_000
+    )
+    assert small.max_abs(1) > 2 * large.max_abs(1)

@@ -1,0 +1,146 @@
+"""Tests for the gate-level masked S-boxes (Figs. 8a / 9a)."""
+
+import numpy as np
+import pytest
+
+from repro.des.masked_core import MaskedSboxModel
+from repro.des.masked_netlist import (
+    PD_MINI_SCHEDULE,
+    PD_SELECT_SCHEDULE,
+    SBOX_N_SECAND2,
+    build_standalone_sbox,
+)
+from repro.netlist.safety import check_secand2_ordering
+from repro.sim.clocking import ClockedHarness
+
+
+def random_stimulus(n, seed):
+    rng = np.random.default_rng(seed)
+    xs0 = rng.integers(0, 2, (6, n)).astype(bool)
+    xs1 = rng.integers(0, 2, (6, n)).astype(bool)
+    r14 = rng.integers(0, 2, (14, n)).astype(bool)
+    return xs0, xs1, r14
+
+
+def drive_ff_sbox(c, xs0, xs1, r14):
+    n = xs0.shape[1]
+    h = ClockedHarness(c, n, period_ps=1500)
+    w = c.wire
+    base = [(0, w(f"x{i}s{j}"), (xs0 if j == 0 else xs1)[i])
+            for i in range(6) for j in range(2)]
+    base += [(0, w(f"r{k}"), r14[k]) for k in range(14)]
+    hi = lambda nm: (10, w(nm), True)
+    lo = lambda nm: (10, w(nm), False)
+    h.step(base + [hi("en_inreg")])
+    h.step([lo("en_inreg"), hi("en_deg2")])
+    h.step([lo("en_deg2"), hi("en_deg3"), hi("en_muxreg")])
+    h.step([lo("en_deg3"), lo("en_muxreg"), hi("en_mux2")])
+    h.step([lo("en_mux2"), hi("en_outreg")])
+    h.step([lo("en_outreg")])
+    return h.output_values()
+
+
+def drive_pd_sbox(c, xs0, xs1, r14, period=30000):
+    n = xs0.shape[1]
+    h = ClockedHarness(c, n, period_ps=period, check_timing=False)
+    w = c.wire
+    base = [(0, w(f"x{i}s{j}"), (xs0 if j == 0 else xs1)[i])
+            for i in range(6) for j in range(2)]
+    base += [(0, w(f"r{k}"), r14[k]) for k in range(14)]
+    h.step(base + [(10, w("en_round"), True)])
+    h.step([(10, w("en_round"), False), (10, w("en_mid"), True)])
+    h.step([(10, w("en_mid"), False)])
+    return h.output_values()
+
+
+@pytest.mark.parametrize("sbox", [0, 2, 5, 7])
+def test_ff_sbox_matches_share_model(sbox):
+    xs0, xs1, r14 = random_stimulus(400, sbox)
+    c, _, _ = build_standalone_sbox(sbox, "ff")
+    out = drive_ff_sbox(c, xs0, xs1, r14)
+    m0, m1 = MaskedSboxModel(sbox)(xs0, xs1, r14)
+    for b in range(4):
+        assert np.array_equal(out[f"y{b}s0"], m0[b])
+        assert np.array_equal(out[f"y{b}s1"], m1[b])
+
+
+@pytest.mark.parametrize("sbox", [0, 4, 6])
+def test_pd_sbox_matches_share_model(sbox):
+    xs0, xs1, r14 = random_stimulus(400, 10 + sbox)
+    c, _, _ = build_standalone_sbox(sbox, "pd", n_luts=2)
+    out = drive_pd_sbox(c, xs0, xs1, r14)
+    m0, m1 = MaskedSboxModel(sbox)(xs0, xs1, r14)
+    for b in range(4):
+        assert np.array_equal(out[f"y{b}s0"], m0[b])
+        assert np.array_equal(out[f"y{b}s1"], m1[b])
+
+
+@pytest.mark.parametrize("variant", ["ff", "pd"])
+def test_sbox_uses_30_secand2_cores(variant):
+    """Sec. VI-A: 30 secAND2 gates per protected S-box."""
+    c, _, _ = build_standalone_sbox(0, variant, n_luts=2)
+    assert len(c.annotations["secand2"]) == SBOX_N_SECAND2
+
+
+def test_ff_sbox_gadget_ffs_resettable():
+    c, _, _ = build_standalone_sbox(0, "ff")
+    gadget_ffs = [
+        g for g in c.ff_gates() if g.params.get("reset_group") == "gadget"
+    ]
+    # 10 AND-stage + 1 shared MUX1 + 16 MUX2 internal FFs
+    assert len(gadget_ffs) == 27
+
+
+def test_pd_sbox_statically_safe_without_jitter():
+    c, _, _ = build_standalone_sbox(0, "pd", n_luts=10)
+    assert check_secand2_ordering(c) == []
+
+
+def test_pd_mini_schedule_shape():
+    """Generalised Table II: innermost variable's shares together,
+    outermost first/last."""
+    assert PD_MINI_SCHEDULE[0] == (3, 3)
+    assert PD_MINI_SCHEDULE[3] == (0, 6)
+    for v in range(4):
+        u0, u1 = PD_MINI_SCHEDULE[v]
+        assert u1 >= u0
+    assert PD_SELECT_SCHEDULE["x5"] == (0, 2)
+    assert PD_SELECT_SCHEDULE["x0"] == (1, 1)
+
+
+def test_pd_sbox_coupling_pairs_are_delay_outputs():
+    c, _, pairs = build_standalone_sbox(0, "pd", n_luts=10)
+    assert len(pairs) == 6  # x1 pair + x0 pair + 4 stage-2 select pairs
+    for a, b in pairs:
+        ga, gb = c.driver_of(a), c.driver_of(b)
+        assert ga.cell.name == "DELAY"
+        assert gb.cell.name == "DELAY"
+
+
+def test_pd_sbox_delay_unit_size_propagates():
+    c, _, _ = build_standalone_sbox(0, "pd", n_luts=7)
+    sizes = {
+        g.params["n_luts"] for g in c.gates if g.cell.name == "DELAY"
+    }
+    assert sizes == {7}
+
+
+def test_invalid_variant_rejected():
+    with pytest.raises(ValueError):
+        build_standalone_sbox(0, "nope")
+
+
+def test_ff_sbox_unmasked_value_correct():
+    from repro.des.reference import sbox_lookup
+
+    xs0, xs1, r14 = random_stimulus(300, 42)
+    c, _, _ = build_standalone_sbox(1, "ff")
+    out = drive_ff_sbox(c, xs0, xs1, r14)
+    xint = np.zeros(300, dtype=int)
+    for i in range(6):
+        xint = (xint << 1) | (xs0[i] ^ xs1[i]).astype(int)
+    ref = np.array([sbox_lookup(1, int(v)) for v in xint])
+    got = np.zeros(300, dtype=int)
+    for b in range(4):
+        got = (got << 1) | (out[f"y{b}s0"] ^ out[f"y{b}s1"]).astype(int)
+    assert np.array_equal(got, ref)

@@ -1,0 +1,136 @@
+"""Unit tests for the power model and the coupling extension."""
+
+import numpy as np
+import pytest
+
+from repro.sim.power import CouplingModel, NullRecorder, PowerRecorder, default_weights
+
+
+def ch(old, new):
+    return np.array(old, bool), np.array(new, bool)
+
+
+def test_binning():
+    rec = PowerRecorder(1, total_time_ps=1000, bin_ps=250)
+    assert rec.n_bins == 4
+    rec.record_batch(0, {0: ch([0], [1])})
+    rec.record_batch(600, {0: ch([1], [0])})
+    assert rec.power[0, 0] == 1
+    assert rec.power[0, 2] == 1
+
+
+def test_times_beyond_range_clamp_to_last_bin():
+    rec = PowerRecorder(1, 1000, bin_ps=250)
+    rec.record_batch(5000, {0: ch([0], [1])})
+    assert rec.power[0, -1] == 1
+
+
+def test_bad_bin_rejected():
+    with pytest.raises(ValueError):
+        PowerRecorder(1, 1000, bin_ps=0)
+
+
+def test_no_toggle_no_power():
+    rec = PowerRecorder(2, 1000)
+    rec.record_batch(0, {0: ch([1, 0], [1, 0])})
+    assert rec.power.sum() == 0
+
+
+def test_weights_scale_energy():
+    w = np.array([3.0, 1.0], dtype=np.float32)
+    rec = PowerRecorder(1, 1000, weights=w)
+    rec.record_batch(0, {0: ch([0], [1]), 1: ch([0], [1])})
+    assert rec.power[0, 0] == pytest.approx(4.0)
+
+
+def test_default_weights_from_fanout():
+    w = default_weights({0: [1, 2, 3], 5: [7]}, 6)
+    assert w[0] == 4.0  # 1 + 3 readers
+    assert w[5] == 2.0
+    assert w[1] == 1.0
+
+
+def test_per_trace_independence():
+    rec = PowerRecorder(3, 1000)
+    rec.record_batch(0, {0: ch([0, 1, 0], [1, 1, 1])})
+    assert list(rec.power[:, 0]) == [1.0, 0.0, 1.0]
+
+
+def test_samples_alias():
+    rec = PowerRecorder(1, 1000)
+    assert rec.samples() is rec.power
+
+
+def test_null_recorder_noop():
+    NullRecorder().record_batch(0, {0: ch([0], [1])})  # no exception
+
+
+# ----------------------------------------------------------------------
+# coupling
+# ----------------------------------------------------------------------
+def test_coupling_same_direction_reduces_energy():
+    cm = CouplingModel(pairs=[(0, 1)], coefficient=0.5)
+    rec = PowerRecorder(1, 1000, coupling=cm)
+    rec.record_batch(0, {0: ch([0], [1]), 1: ch([0], [1])})
+    # 2 toggles - 0.5 * (+1 * +1)
+    assert rec.power[0, 0] == pytest.approx(1.5)
+
+
+def test_coupling_opposite_direction_adds_energy():
+    cm = CouplingModel(pairs=[(0, 1)], coefficient=0.5)
+    rec = PowerRecorder(1, 1000, coupling=cm)
+    rec.record_batch(0, {0: ch([0], [1]), 1: ch([1], [0])})
+    assert rec.power[0, 0] == pytest.approx(2.5)
+
+
+def test_coupling_needs_both_transitions():
+    cm = CouplingModel(pairs=[(0, 1)], coefficient=0.5)
+    rec = PowerRecorder(1, 1000, coupling=cm)
+    rec.record_batch(0, {0: ch([0], [1])})
+    assert rec.power[0, 0] == pytest.approx(1.0)
+
+
+def test_coupling_within_window():
+    cm = CouplingModel(pairs=[(0, 1)], coefficient=1.0, window_ps=150)
+    rec = PowerRecorder(1, 1000, bin_ps=1000, coupling=cm)
+    rec.record_batch(100, {0: ch([0], [1])})
+    rec.record_batch(200, {1: ch([0], [1])})  # 100 ps later: couples
+    assert rec.power[0, 0] == pytest.approx(2.0 - 1.0)
+
+
+def test_coupling_outside_window_ignored():
+    cm = CouplingModel(pairs=[(0, 1)], coefficient=1.0, window_ps=150)
+    rec = PowerRecorder(1, 1000, bin_ps=1000, coupling=cm)
+    rec.record_batch(100, {0: ch([0], [1])})
+    rec.record_batch(500, {1: ch([0], [1])})  # 400 ps later: no coupling
+    assert rec.power[0, 0] == pytest.approx(2.0)
+
+
+def test_coupling_uncoupled_wires_unaffected():
+    cm = CouplingModel(pairs=[(0, 1)], coefficient=1.0)
+    rec = PowerRecorder(1, 1000, coupling=cm)
+    rec.record_batch(0, {2: ch([0], [1]), 3: ch([0], [1])})
+    assert rec.power[0, 0] == pytest.approx(2.0)
+
+
+def test_coupling_partner_map():
+    cm = CouplingModel(pairs=[(0, 1), (0, 2)])
+    pm = cm.partner_map()
+    assert sorted(pm[0]) == [1, 2]
+    assert pm[1] == [0]
+
+
+def test_coupling_per_trace_sign_product():
+    cm = CouplingModel(pairs=[(0, 1)], coefficient=1.0)
+    rec = PowerRecorder(3, 1000, coupling=cm)
+    rec.record_batch(
+        0,
+        {
+            0: ch([0, 0, 0], [1, 1, 0]),
+            1: ch([0, 1, 0], [1, 0, 1]),
+        },
+    )
+    # trace0: same dir (+1,+1): 2 - 1 = 1
+    # trace1: opposite (+1,-1): 2 + 1 = 3
+    # trace2: only wire1 toggles: 1 (sign product 0)
+    assert list(rec.power[:, 0]) == [1.0, 3.0, 1.0]

@@ -1,0 +1,201 @@
+"""Tests for the PRESENT-80 case study."""
+
+import numpy as np
+import pytest
+
+from repro.core.gadgets import SharePair
+from repro.leakage.prng import RandomnessSource
+from repro.netlist.circuit import Circuit
+from repro.netlist.safety import check_secand2_ordering
+from repro.present import (
+    Masked4BitSbox,
+    MaskedPresent,
+    SBOX,
+    SBOX_INV,
+    build_present_sbox_ff,
+    build_present_sbox_pd,
+    present_decrypt,
+    present_encrypt,
+    round_keys80,
+)
+from repro.sim.clocking import ClockedHarness
+from repro.sim.vectorsim import VectorSimulator
+
+# Published PRESENT-80 test vectors.
+VECTORS = [
+    (0x00000000000000000000, 0x0000000000000000, 0x5579C1387B228445),
+    (0xFFFFFFFFFFFFFFFFFFFF, 0x0000000000000000, 0xE72C46C0F5945049),
+    (0x00000000000000000000, 0xFFFFFFFFFFFFFFFF, 0xA112FFC72F68417B),
+    (0xFFFFFFFFFFFFFFFFFFFF, 0xFFFFFFFFFFFFFFFF, 0x3333DCD3213210D2),
+]
+
+
+@pytest.mark.parametrize("key,pt,ct", VECTORS)
+def test_reference_vectors(key, pt, ct):
+    assert present_encrypt(pt, key) == ct
+
+
+@pytest.mark.parametrize("key,pt,ct", VECTORS)
+def test_reference_decrypt(key, pt, ct):
+    assert present_decrypt(ct, key) == pt
+
+
+def test_sbox_is_permutation():
+    assert sorted(SBOX) == list(range(16))
+    assert all(SBOX_INV[SBOX[v]] == v for v in range(16))
+
+
+def test_round_keys_count():
+    keys = round_keys80(0)
+    assert len(keys) == 32
+    assert all(0 <= k < 1 << 64 for k in keys)
+    assert keys[0] == 0  # first round key = top 64 bits of the key
+
+
+def test_masked_sbox_anf_structure():
+    m = Masked4BitSbox(SBOX)
+    # PRESENT's S-box uses 8 of the 10 possible nonlinear monomials
+    assert m.random_bits == 8
+    assert all(bin(x).count("1") in (2, 3) for x in m.computed)
+
+
+def test_masked_sbox_rejects_non_permutation():
+    with pytest.raises(ValueError):
+        Masked4BitSbox([0] * 16)
+
+
+def test_masked_sbox_matches_table():
+    rng = np.random.default_rng(0)
+    m = Masked4BitSbox(SBOX)
+    n = 2048
+    vals = rng.integers(0, 16, n)
+    bits = np.stack([(vals >> (3 - b)) & 1 for b in range(4)]).astype(bool)
+    mask = rng.integers(0, 2, (4, n)).astype(bool)
+    r = rng.integers(0, 2, (m.random_bits, n)).astype(bool)
+    o0, o1 = m(bits ^ mask, mask, r)
+    got = np.zeros(n, dtype=int)
+    for b in range(4):
+        got = (got << 1) | (o0[b] ^ o1[b]).astype(int)
+    assert np.array_equal(got, np.array([SBOX[v] for v in vals]))
+
+
+def test_masked_sbox_output_shares_balanced():
+    rng = np.random.default_rng(1)
+    m = Masked4BitSbox(SBOX)
+    n = 40_000
+    bits = np.zeros((4, n), dtype=bool)  # fixed input 0
+    mask = rng.integers(0, 2, (4, n)).astype(bool)
+    r = rng.integers(0, 2, (m.random_bits, n)).astype(bool)
+    o0, _ = m(bits ^ mask, mask, r)
+    for b in range(4):
+        assert abs(o0[b].mean() - 0.5) < 0.02
+
+
+def test_generic_sbox_works_for_des_rows():
+    """The generic 4-bit machinery covers the DES mini S-boxes too."""
+    from repro.des.tables import SBOXES
+
+    rng = np.random.default_rng(2)
+    table = SBOXES[3][1]
+    m = Masked4BitSbox(table)
+    n = 1024
+    vals = rng.integers(0, 16, n)
+    bits = np.stack([(vals >> (3 - b)) & 1 for b in range(4)]).astype(bool)
+    mask = rng.integers(0, 2, (4, n)).astype(bool)
+    r = rng.integers(0, 2, (max(m.random_bits, 1), n)).astype(bool)
+    o0, o1 = m(bits ^ mask, mask, r)
+    got = np.zeros(n, dtype=int)
+    for b in range(4):
+        got = (got << 1) | (o0[b] ^ o1[b]).astype(int)
+    assert np.array_equal(got, np.array([table[v] for v in vals]))
+
+
+def test_masked_present_matches_reference():
+    rng = np.random.default_rng(3)
+    core = MaskedPresent()
+    pts = rng.integers(0, 2**63, 24, dtype=np.uint64)
+    keys = [int(rng.integers(0, 2**63)) << 17 | 0x1ABCD for _ in range(24)]
+    ct = core.encrypt(pts, keys, RandomnessSource(4))
+    for i in range(24):
+        assert int(ct[i]) == present_encrypt(int(pts[i]), keys[i])
+
+
+def test_masked_present_prng_off_still_correct():
+    rng = np.random.default_rng(5)
+    core = MaskedPresent()
+    pts = rng.integers(0, 2**63, 8, dtype=np.uint64)
+    keys = [0x00000000000000000000] * 8
+    ct = core.encrypt(pts, keys, RandomnessSource(0, enabled=False))
+    for i in range(8):
+        assert int(ct[i]) == present_encrypt(int(pts[i]), 0)
+
+
+def test_masked_present_randomness_accounting():
+    core = MaskedPresent()
+    assert core.random_bits_per_round == 16  # 8 recycled + 8 key schedule
+    no_recycle = MaskedPresent(recycle_randomness=False)
+    assert no_recycle.random_bits_per_round == 16 * 8 + 8
+
+
+# ----------------------------------------------------------------------
+# netlist builders
+# ----------------------------------------------------------------------
+def _stimulus(n, seed):
+    rng = np.random.default_rng(seed)
+    vals = rng.integers(0, 16, n)
+    bits = np.stack([(vals >> (3 - b)) & 1 for b in range(4)]).astype(bool)
+    mask = rng.integers(0, 2, (4, n)).astype(bool)
+    rand = rng.integers(0, 2, (8, n)).astype(bool)
+    return vals, bits ^ mask, mask, rand
+
+
+def test_present_sbox_ff_netlist():
+    c = Circuit("present-ff")
+    ins = [SharePair(c.add_input(f"x{i}s0"), c.add_input(f"x{i}s1"))
+           for i in range(4)]
+    rand = [c.add_input(f"r{k}") for k in range(8)]
+    en2, en3 = c.add_inputs("en2", "en3")
+    outs = build_present_sbox_ff(c, ins, rand, en2, en3)
+    for b, p in enumerate(outs):
+        c.mark_output(f"y{b}s0", p.s0)
+        c.mark_output(f"y{b}s1", p.s1)
+    c.check()
+    n = 512
+    vals, xs0, xs1, rv = _stimulus(n, 6)
+    h = ClockedHarness(c, n, period_ps=1500)
+    ev = [(0, c.wire(f"x{i}s{j}"), (xs0 if j == 0 else xs1)[i])
+          for i in range(4) for j in range(2)]
+    ev += [(0, c.wire(f"r{k}"), rv[k]) for k in range(8)]
+    h.step(ev + [(10, c.wire("en2"), True)])
+    h.step([(10, c.wire("en2"), False), (10, c.wire("en3"), True)])
+    h.step([(10, c.wire("en3"), False)])
+    out = h.output_values()
+    got = np.zeros(n, dtype=int)
+    for b in range(4):
+        got = (got << 1) | (out[f"y{b}s0"] ^ out[f"y{b}s1"]).astype(int)
+    assert np.array_equal(got, np.array([SBOX[v] for v in vals]))
+
+
+def test_present_sbox_pd_netlist_and_safety():
+    c = Circuit("present-pd")
+    ins = [SharePair(c.add_input(f"x{i}s0"), c.add_input(f"x{i}s1"))
+           for i in range(4)]
+    rand = [c.add_input(f"r{k}") for k in range(8)]
+    outs, _ = build_present_sbox_pd(c, ins, rand, n_luts=2)
+    for b, p in enumerate(outs):
+        c.mark_output(f"y{b}s0", p.s0)
+        c.mark_output(f"y{b}s1", p.s1)
+    c.check()
+    assert check_secand2_ordering(c) == []
+    n = 512
+    vals, xs0, xs1, rv = _stimulus(n, 7)
+    sim = VectorSimulator(c, n)
+    ev = [(0, c.wire(f"x{i}s{j}"), (xs0 if j == 0 else xs1)[i])
+          for i in range(4) for j in range(2)]
+    ev += [(0, c.wire(f"r{k}"), rv[k]) for k in range(8)]
+    sim.settle(ev)
+    out = sim.output_values()
+    got = np.zeros(n, dtype=int)
+    for b in range(4):
+        got = (got << 1) | (out[f"y{b}s0"] ^ out[f"y{b}s1"]).astype(int)
+    assert np.array_equal(got, np.array([SBOX[v] for v in vals]))

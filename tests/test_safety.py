@@ -1,0 +1,101 @@
+"""Tests for the static arrival-order safety checker."""
+
+import pytest
+
+from repro.core.gadgets import SharePair, secand2, secand2_pd
+from repro.netlist.circuit import Circuit
+from repro.netlist.safety import (
+    OrderingViolation,
+    check_secand2_ordering,
+    count_violations,
+)
+
+
+def gadget_with_arrivals(dx0=0, dx1=0, dy0=0, dy1=0, n_luts=1):
+    """secAND2 whose inputs arrive after configurable delay lines."""
+    c = Circuit()
+    x0, x1, y0, y1 = c.add_inputs("x0", "x1", "y0", "y1")
+    x = SharePair(
+        c.delay_line(x0, dx0, n_luts), c.delay_line(x1, dx1, n_luts)
+    )
+    y = SharePair(
+        c.delay_line(y0, dy0, n_luts), c.delay_line(y1, dy1, n_luts)
+    )
+    z = secand2(c, x, y)
+    c.mark_output("z0", z.s0)
+    c.mark_output("z1", z.s1)
+    return c
+
+
+def test_fig3_schedule_is_safe():
+    c = gadget_with_arrivals(dx0=1, dx1=1, dy0=0, dy1=2)
+    assert check_secand2_ordering(c) == []
+
+
+def test_y1_not_last_detected():
+    c = gadget_with_arrivals(dx0=3, dx1=1, dy0=0, dy1=2)  # x0 after y1
+    v = check_secand2_ordering(c)
+    assert any(x.kind == "y1-not-last" for x in v)
+
+
+def test_y1_tie_is_a_violation():
+    c = gadget_with_arrivals(dx0=2, dx1=1, dy0=0, dy1=2)  # x0 ties y1
+    assert any(
+        x.kind == "y1-not-last" for x in check_secand2_ordering(c)
+    )
+
+
+def test_y0_not_first_detected():
+    c = gadget_with_arrivals(dx0=1, dx1=1, dy0=2, dy1=3)  # y0 after x
+    v = check_secand2_ordering(c)
+    assert any(x.kind == "y0-not-first" for x in v)
+
+
+def test_y0_check_can_be_disabled():
+    c = gadget_with_arrivals(dx0=1, dx1=1, dy0=2, dy1=3)
+    assert check_secand2_ordering(c, check_y0_first=False) == []
+
+
+def test_margin_requirement():
+    # safe but with only one DelayUnit (250 ps) of margin
+    c = gadget_with_arrivals(dx0=1, dx1=1, dy0=0, dy1=2)
+    assert check_secand2_ordering(c, min_margin_ps=0) == []
+    assert check_secand2_ordering(c, min_margin_ps=10_000) != []
+
+
+def test_count_violations_summary():
+    c = gadget_with_arrivals(dx0=3, dx1=3, dy0=4, dy1=2)
+    counts = count_violations(c)
+    assert counts["y1-not-last"] == 1
+    assert counts["y0-not-first"] == 1
+
+
+def test_violation_str_readable():
+    c = gadget_with_arrivals(dx0=3, dx1=1, dy0=0, dy1=2)
+    v = check_secand2_ordering(c)[0]
+    assert "y1-not-last" in str(v)
+    assert "margin" in str(v)
+
+
+def test_circuit_without_annotations_is_trivially_safe():
+    c = Circuit()
+    a, b = c.add_inputs("a", "b")
+    c.and2(a, b)
+    assert check_secand2_ordering(c) == []
+
+
+def test_pd_gadget_with_enough_luts_safe_under_jitter():
+    """The Fig. 15 mechanism in miniature: the same jittered circuit is
+    unsafe with a 1-LUT DelayUnit and safe with a large one."""
+    results = {}
+    for n_luts in (1, 10):
+        c = Circuit()
+        c.enable_routing_jitter(123, gate_sigma_ps=0.0, delay_sigma_ps=700.0)
+        x = SharePair(*c.add_inputs("x0", "x1"))
+        y = SharePair(*c.add_inputs("y0", "y1"))
+        # several gadget instances to give jitter a chance to violate
+        for k in range(20):
+            secand2_pd(c, x, y, n_luts=n_luts, tag=f"g{k}")
+        results[n_luts] = len(check_secand2_ordering(c, check_y0_first=False))
+    assert results[1] > 0
+    assert results[10] == 0

@@ -1,0 +1,158 @@
+"""Tests for the mini-S-box ANF decomposition (Eq. 3 / Eq. 4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.des.bits import int_to_bitarray
+from repro.des.reference import sbox_lookup
+from repro.des.sbox_anf import (
+    ALL_DEG2,
+    ALL_DEG3,
+    ALL_MONOMIALS,
+    anf_of_row,
+    decompose_sbox,
+    evaluate_row_anf,
+    mobius_transform,
+    monomial_name,
+    select_products,
+)
+from repro.des.tables import SBOXES
+
+
+def test_monomial_sets():
+    assert len(ALL_DEG2) == 6
+    assert len(ALL_DEG3) == 4
+    assert len(ALL_MONOMIALS) == 10
+    assert all(bin(m).count("1") == 2 for m in ALL_DEG2)
+    assert all(bin(m).count("1") == 3 for m in ALL_DEG3)
+
+
+def test_monomial_names():
+    assert monomial_name(0) == "1"
+    assert monomial_name(0b1000) == "x1"
+    assert monomial_name(0b1001) == "x1*x4"
+    assert monomial_name(0b0111) == "x2*x3*x4"
+
+
+def test_mobius_constant_functions():
+    assert mobius_transform([0] * 16) == [0] * 16
+    one = mobius_transform([1] * 16)
+    assert one[0] == 1 and sum(one) == 1
+
+
+def test_mobius_single_variable():
+    # f = x1 (MSB of the column index)
+    tt = [(c >> 3) & 1 for c in range(16)]
+    coeffs = mobius_transform(tt)
+    assert coeffs[0b1000] == 1
+    assert sum(coeffs) == 1
+
+
+@given(st.lists(st.integers(0, 1), min_size=16, max_size=16))
+@settings(max_examples=50, deadline=None)
+def test_mobius_is_involution(tt):
+    assert mobius_transform(mobius_transform(tt)) == [v & 1 for v in tt]
+
+
+@given(st.lists(st.integers(0, 1), min_size=16, max_size=16))
+@settings(max_examples=50, deadline=None)
+def test_mobius_evaluates_back_to_truth_table(tt):
+    coeffs = mobius_transform(tt)
+    for c in range(16):
+        acc = 0
+        for m in range(16):
+            if (m & c) == m and coeffs[m]:
+                acc ^= 1
+        assert acc == (tt[c] & 1)
+
+
+@pytest.mark.parametrize("sbox", range(8))
+@pytest.mark.parametrize("row", range(4))
+def test_anf_reproduces_table(sbox, row):
+    anf = anf_of_row(sbox, row)
+    x = int_to_bitarray(np.arange(16, dtype=np.uint64), 4)
+    out = evaluate_row_anf(anf, x)
+    vals = (
+        out[0].astype(int) * 8
+        + out[1].astype(int) * 4
+        + out[2].astype(int) * 2
+        + out[3].astype(int)
+    )
+    assert list(vals) == list(SBOXES[sbox][row])
+
+
+@pytest.mark.parametrize("sbox", range(8))
+def test_degree_bound_and_monomial_budget(sbox):
+    """Sec. IV-A: at most six degree-2 and four degree-3 terms; never
+    degree 4 (rows are 4-bit permutations)."""
+    d = decompose_sbox(sbox, all_products=False)
+    assert d.n_deg2 <= 6
+    assert d.n_deg3 <= 4
+    for row in d.rows:
+        assert row.degree <= 3
+
+
+@pytest.mark.parametrize("sbox", range(8))
+def test_all_products_decomposition_has_ten_monomials(sbox):
+    d = decompose_sbox(sbox, all_products=True)
+    assert d.monomials == ALL_MONOMIALS
+    assert d.n_deg2 == 6
+    assert d.n_deg3 == 4
+
+
+@pytest.mark.parametrize("sbox", range(8))
+def test_deg3_factorisation_valid(sbox):
+    d = decompose_sbox(sbox, all_products=True)
+    for m in ALL_DEG3:
+        d2, extra = d.deg3_factorisation(m)
+        assert bin(d2).count("1") == 2
+        assert d2 in d.monomials
+        assert (d2 | (8 >> extra)) == m
+        assert not (d2 & (8 >> extra))
+
+
+def test_select_products_one_hot():
+    rng = np.random.default_rng(0)
+    x0 = rng.integers(0, 2, 1000).astype(bool)
+    x5 = rng.integers(0, 2, 1000).astype(bool)
+    sp = select_products(x0, x5)
+    total = np.zeros(1000, dtype=int)
+    for s in sp:
+        total += s.astype(int)
+    assert np.all(total == 1)  # exactly one row selected
+
+
+def test_select_products_row_mapping():
+    x0 = np.array([0, 0, 1, 1], bool)
+    x5 = np.array([0, 1, 0, 1], bool)
+    sp = select_products(x0, x5)
+    for r in range(4):
+        expect = (2 * x0.astype(int) + x5.astype(int)) == r
+        assert np.array_equal(sp[r], expect)
+
+
+def test_full_sbox_via_decomposition_matches_lookup():
+    """Mini S-boxes + MUX (Eq. 3 + Eq. 4) == the DES S-box table."""
+    rng = np.random.default_rng(1)
+    for sbox in range(8):
+        d = decompose_sbox(sbox)
+        vals = rng.integers(0, 64, 500, dtype=np.uint64)
+        bits = int_to_bitarray(vals, 6)
+        x0, mid, x5 = bits[0], bits[1:5], bits[5]
+        rows_out = [evaluate_row_anf(d.rows[r], mid) for r in range(4)]
+        sel = select_products(x0, x5)
+        out = np.zeros((4, 500), dtype=bool)
+        for b in range(4):
+            for r in range(4):
+                out[b] ^= sel[r] & rows_out[r][b]
+        got = (
+            out[0].astype(int) * 8 + out[1] * 4 + out[2] * 2 + out[3]
+        )
+        ref = np.array([sbox_lookup(sbox, int(v)) for v in vals])
+        assert np.array_equal(got, ref)
+
+
+def test_decompose_is_cached():
+    assert decompose_sbox(0) is decompose_sbox(0)

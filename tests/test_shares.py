@@ -1,0 +1,113 @@
+"""Unit and property-based tests for the share algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.shares import (
+    is_uniform_sharing,
+    joint_distribution,
+    random_bits,
+    share,
+    share_many,
+    shares_independent_of,
+    unshare,
+)
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+def test_share_roundtrip_array():
+    r = rng()
+    v = random_bits(r, 1000)
+    s0, s1 = share(v, r)
+    assert np.array_equal(unshare(s0, s1), v)
+
+
+def test_share_scalar_broadcast():
+    s0, s1 = share(True, rng(), n=64)
+    assert np.all(unshare(s0, s1))
+    s0, s1 = share(0, rng(), n=64)
+    assert not np.any(unshare(s0, s1))
+
+
+def test_share_scalar_requires_n():
+    with pytest.raises(ValueError):
+        share(True, rng())
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=30, deadline=None)
+def test_share_roundtrip_property(seed):
+    r = np.random.default_rng(seed)
+    v = random_bits(r, 256)
+    s0, s1 = share(v, r)
+    assert np.array_equal(s0 ^ s1, v)
+
+
+def test_mask_share_is_uniform():
+    r = rng(1)
+    v = np.ones(50_000, bool)  # constant secret
+    s0, s1 = share(v, r)
+    assert is_uniform_sharing(s0, s1)
+    # and each share individually carries no information about v
+    assert abs(s1.mean() - 0.5) < 0.02
+
+
+def test_share_many_independent_masks():
+    r = rng(2)
+    pairs = share_many([np.ones(20_000, bool)] * 2, r)
+    (a0, _), (b0, _) = pairs
+    # masks of different variables are independent
+    corr = np.corrcoef(a0, b0)[0, 1]
+    assert abs(corr) < 0.03
+
+
+def test_joint_distribution_uniform_bits():
+    r = rng(3)
+    bits = [random_bits(r, 100_000) for _ in range(2)]
+    d = joint_distribution(bits)
+    assert d.shape == (4,)
+    assert np.allclose(d, 0.25, atol=0.01)
+    assert d.sum() == pytest.approx(1.0)
+
+
+def test_joint_distribution_correlated_bits():
+    r = rng(4)
+    a = random_bits(r, 100_000)
+    d = joint_distribution([a, a])  # fully correlated
+    assert d[1] == pytest.approx(0.0)
+    assert d[2] == pytest.approx(0.0)
+
+
+def test_shares_independent_of_detects_dependence():
+    r = rng(5)
+    secret = random_bits(r, 100_000)
+    leaky = secret.copy()  # the "share" IS the secret
+    assert not shares_independent_of([leaky], secret)
+
+
+def test_shares_independent_of_passes_proper_sharing():
+    r = rng(6)
+    secret = random_bits(r, 100_000)
+    s0, s1 = share(secret, r)
+    assert shares_independent_of([s0], secret)
+    assert shares_independent_of([s1], secret)
+
+
+def test_shares_independent_of_joint_shares_fail():
+    """Jointly, the two shares determine the secret."""
+    r = rng(7)
+    secret = random_bits(r, 100_000)
+    s0, s1 = share(secret, r)
+    assert not shares_independent_of([s0, s1], secret)
+
+
+def test_shares_independent_requires_both_classes():
+    r = rng(8)
+    secret = np.zeros(100, bool)
+    with pytest.raises(ValueError):
+        shares_independent_of([secret], secret)

@@ -1,0 +1,117 @@
+"""Unit tests for SNR computation and the randomness source."""
+
+import numpy as np
+import pytest
+
+from repro.leakage.prng import RandomnessSource
+from repro.leakage.snr import snr
+
+
+def test_snr_zero_for_uninformative_traces():
+    rng = np.random.default_rng(0)
+    traces = rng.normal(0, 1, (20000, 4))
+    labels = rng.integers(0, 2, 20000)
+    assert np.all(snr(traces, labels) < 0.01)
+
+
+def test_snr_high_where_signal_lives():
+    rng = np.random.default_rng(1)
+    labels = rng.integers(0, 2, 20000)
+    traces = rng.normal(0, 1, (20000, 4))
+    traces[:, 2] += 3.0 * labels
+    s = snr(traces, labels)
+    assert s[2] > 1.0
+    assert np.all(s[[0, 1, 3]] < 0.01)
+
+
+def test_snr_scales_with_signal_amplitude():
+    rng = np.random.default_rng(2)
+    labels = rng.integers(0, 2, 50000)
+    base = rng.normal(0, 1, (50000, 1))
+    small = base + 0.5 * labels[:, None]
+    large = base + 2.0 * labels[:, None]
+    assert snr(large, labels)[0] > 10 * snr(small, labels)[0]
+
+
+def test_snr_requires_two_classes():
+    with pytest.raises(ValueError):
+        snr(np.zeros((10, 2)), np.zeros(10, dtype=int))
+
+
+def test_snr_multiclass():
+    rng = np.random.default_rng(3)
+    labels = rng.integers(0, 4, 40000)
+    traces = rng.normal(0, 1, (40000, 2))
+    traces[:, 0] += labels
+    s = snr(traces, labels)
+    assert s[0] > 0.5
+
+
+def test_parallel_instances_improve_snr():
+    """The paper replicates secAND2 instances to raise SNR (Sec. II-B).
+
+    Replication multiplies the (correlated) signal while the
+    *measurement* noise stays constant, so with realistic oscilloscope
+    noise the SNR grows with the instance count.
+    """
+    from repro.core.sequences import SequenceSource
+
+    rng = np.random.default_rng(4)
+    seq = ("y0", "y1", "x1", "x0")
+    snrs = []
+    for n_inst in (1, 8):
+        src = SequenceSource(seq, n_instances=n_inst)
+        fixed = np.zeros(20000, bool)
+        fixed[:10000] = True
+        traces = src.acquire(fixed, np.random.default_rng(5))
+        traces = traces + rng.normal(0, 10.0, traces.shape)
+        snrs.append(snr(traces, fixed.astype(int)).max())
+    assert snrs[1] > 2 * snrs[0]
+
+
+# ----------------------------------------------------------------------
+def test_prng_enabled_produces_random_bits():
+    src = RandomnessSource(0)
+    bits = src.bits(1000)
+    assert 0.4 < bits.mean() < 0.6
+
+
+def test_prng_disabled_is_all_zero():
+    src = RandomnessSource(0, enabled=False)
+    assert not src.bits(100).any()
+    assert not src.words(10, 48).any()
+
+
+def test_prng_seeded_reproducible():
+    assert np.array_equal(
+        RandomnessSource(42).bits(64), RandomnessSource(42).bits(64)
+    )
+
+
+def test_prng_shapes():
+    src = RandomnessSource(1)
+    assert src.bits(3, 5).shape == (3, 5)
+    assert src.bit(7).shape == (7,)
+    assert src.words(4, 48).shape == (4,)
+
+
+def test_prng_words_range():
+    src = RandomnessSource(2)
+    w = src.words(1000, 8)
+    assert w.max() < 256
+    with pytest.raises(ValueError):
+        src.words(1, 64)
+
+
+def test_prng_spawn_independent_but_seeded():
+    parent = RandomnessSource(3)
+    child = parent.spawn()
+    assert child.enabled
+    # spawning is deterministic given the parent seed
+    parent2 = RandomnessSource(3)
+    child2 = parent2.spawn()
+    assert np.array_equal(child.bits(32), child2.bits(32))
+
+
+def test_prng_spawn_preserves_disabled():
+    assert not RandomnessSource(0, enabled=False).spawn().enabled

@@ -1,0 +1,109 @@
+"""Unit tests for static timing analysis."""
+
+import pytest
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.cells import cell
+from repro.netlist.timing import (
+    CLK_TO_Q_PS,
+    SETUP_PS,
+    analyze,
+    arrival_times,
+    critical_path,
+)
+
+
+def test_arrival_times_chain():
+    c = Circuit()
+    a = c.add_input("a")
+    w1 = c.inv(a)
+    w2 = c.inv(w1)
+    at = arrival_times(c)
+    assert at[a] == 0
+    assert at[w1] == cell("INV").delay_ps
+    assert at[w2] == 2 * cell("INV").delay_ps
+
+
+def test_arrival_times_take_worst_input():
+    c = Circuit()
+    a, b = c.add_inputs("a", "b")
+    slow = c.xor2(a, b)          # 30 ps
+    fast = c.inv(a)              # 12 ps
+    z = c.and2(slow, fast)
+    at = arrival_times(c)
+    assert at[z] == cell("XOR2").delay_ps + cell("AND2").delay_ps
+
+
+def test_arrival_times_with_custom_input_arrivals():
+    c = Circuit()
+    a = c.add_input("a")
+    z = c.inv(a)
+    at = arrival_times(c, {a: 1000})
+    assert at[z] == 1000 + cell("INV").delay_ps
+
+
+def test_ff_outputs_arrive_at_clk_to_q():
+    c = Circuit()
+    a = c.add_input("a")
+    q = c.dff(a)
+    at = arrival_times(c)
+    assert at[q] == CLK_TO_Q_PS
+
+
+def test_critical_path_endpoints_prefers_ff_d_pins():
+    c = Circuit()
+    a = c.add_input("a")
+    long = c.inv(c.inv(c.inv(a)))
+    c.dff(long)
+    delay, path, start, end = critical_path(c)
+    assert delay == 3 * cell("INV").delay_ps
+    assert start == a
+    assert end == long
+    assert len(path) == 3
+
+
+def test_analyze_includes_setup_and_clk2q():
+    c = Circuit()
+    a = c.add_input("a")
+    q = c.dff(a)
+    w = c.inv(q)
+    c.dff(w)
+    rep = analyze(c)
+    # FF -> INV -> FF: clk2q + inv + setup
+    assert rep.critical_path_ps == CLK_TO_Q_PS + cell("INV").delay_ps + SETUP_PS
+    assert rep.max_freq_mhz == pytest.approx(1e6 / rep.critical_path_ps)
+
+
+def test_analyze_floor_for_direct_ff_to_ff():
+    c = Circuit()
+    a = c.add_input("a")
+    q = c.dff(a)
+    c.dff(q)
+    rep = analyze(c)
+    assert rep.critical_path_ps >= CLK_TO_Q_PS + SETUP_PS
+
+
+def test_delay_lines_dominate_critical_path():
+    c = Circuit()
+    a = c.add_input("a")
+    z = c.delay_line(a, 6, 10)
+    c.mark_output("z", z)
+    rep = analyze(c)
+    assert rep.critical_path_ps >= 6 * 10 * 250
+
+
+def test_report_str_mentions_path():
+    c = Circuit()
+    a = c.add_input("a")
+    c.mark_output("z", c.inv(a, name="the_inv"))
+    rep = analyze(c)
+    assert "the_inv" in str(rep)
+
+
+def test_pd_slower_than_ff_engine():
+    """Table III shape: the PD engine's fmax is far below the FF one."""
+    from repro.des.engines import MaskedDESNetlistEngine
+
+    ff = MaskedDESNetlistEngine("ff")
+    pd = MaskedDESNetlistEngine("pd", n_luts=10)
+    assert ff.timing.max_freq_mhz > 5 * pd.timing.max_freq_mhz

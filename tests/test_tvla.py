@@ -1,0 +1,154 @@
+"""Unit tests for the TVLA implementation (orders 1..3, streaming)."""
+
+import numpy as np
+import pytest
+
+from repro.leakage.tvla import (
+    THRESHOLD,
+    TTestAccumulator,
+    TvlaResult,
+    consistent_leakage,
+    threshold_crossings,
+    welch_t,
+)
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+def direct_welch(a, b):
+    return welch_t(
+        a.mean(0), a.var(0), a.shape[0], b.mean(0), b.var(0), b.shape[0]
+    )
+
+
+def test_welch_t_zero_for_identical_populations():
+    a = np.ones((10, 3))
+    t = welch_t(a.mean(0), a.var(0), 10, a.mean(0), a.var(0), 10)
+    assert np.allclose(t, 0.0)
+
+
+def test_welch_t_matches_scipy_formula():
+    r = rng(1)
+    a = r.normal(0, 1, (500, 4))
+    b = r.normal(0.5, 2, (400, 4))
+    t = direct_welch(a, b)
+    try:
+        from scipy import stats
+
+        ref = stats.ttest_ind(a, b, axis=0, equal_var=False).statistic
+        assert np.allclose(t, ref, rtol=0.01)
+    except ImportError:  # pragma: no cover
+        pytest.skip("scipy unavailable")
+
+
+def test_accumulator_first_order_matches_direct():
+    r = rng(2)
+    a = r.normal(0, 1, (3000, 8))
+    b = r.normal(0.2, 1, (3000, 8))
+    acc = TTestAccumulator(8)
+    acc.update(a, np.ones(3000, bool))
+    acc.update(b, np.zeros(3000, bool))
+    assert np.allclose(acc.t_stats(1), direct_welch(a, b), rtol=1e-6)
+
+
+def test_accumulator_streaming_equals_batch():
+    r = rng(3)
+    traces = r.normal(0, 1, (4000, 5))
+    labels = r.integers(0, 2, 4000).astype(bool)
+    one = TTestAccumulator(5)
+    one.update(traces, labels)
+    many = TTestAccumulator(5)
+    for i in range(0, 4000, 250):
+        many.update(traces[i : i + 250], labels[i : i + 250])
+    for order in (1, 2, 3):
+        assert np.allclose(one.t_stats(order), many.t_stats(order), rtol=1e-9)
+
+
+def test_second_order_detects_variance_difference():
+    """Masked-but-second-order-leaky situation: equal means, different
+    variances — order 1 silent, order 2 loud."""
+    r = rng(4)
+    a = r.normal(0, 1.0, (20000, 2))
+    b = r.normal(0, 1.6, (20000, 2))
+    acc = TTestAccumulator(2)
+    acc.update(a, np.ones(20000, bool))
+    acc.update(b, np.zeros(20000, bool))
+    assert np.max(np.abs(acc.t_stats(1))) < THRESHOLD
+    assert np.max(np.abs(acc.t_stats(2))) > THRESHOLD
+
+
+def test_third_order_detects_skewness_difference():
+    r = rng(5)
+    a = r.normal(0, 1, (50000, 1))
+    # skewed with matched mean/variance (standardised chi-square-ish)
+    b = r.gamma(4.0, 1.0, (50000, 1))
+    b = (b - b.mean()) / b.std()
+    acc = TTestAccumulator(1)
+    acc.update(a, np.ones(50000, bool))
+    acc.update(b, np.zeros(50000, bool))
+    assert np.max(np.abs(acc.t_stats(1))) < THRESHOLD
+    assert np.max(np.abs(acc.t_stats(2))) < 2 * THRESHOLD
+    assert np.max(np.abs(acc.t_stats(3))) > THRESHOLD
+
+
+def test_invalid_order_rejected():
+    with pytest.raises(ValueError):
+        TTestAccumulator(1).t_stats(4)
+
+
+def test_sample_count_mismatch_rejected():
+    acc = TTestAccumulator(4)
+    with pytest.raises(ValueError):
+        acc.update(np.zeros((10, 5)), np.zeros(10, bool))
+
+
+def test_result_summary_and_leaks():
+    r = rng(6)
+    a = r.normal(0, 1, (5000, 3))
+    b = r.normal(2, 1, (5000, 3))
+    acc = TTestAccumulator(3)
+    acc.update(a, np.ones(5000, bool))
+    acc.update(b, np.zeros(5000, bool))
+    res = acc.result("unit")
+    assert res.leaks(1)
+    assert res.n_traces == 10000
+    assert "LEAKS" in res.summary()
+    assert len(res.crossings(1)) == 3
+
+
+def test_threshold_crossings():
+    t = np.array([0.0, 5.0, -6.0, 4.4])
+    assert list(threshold_crossings(t)) == [1, 2]
+
+
+def _result_with_crossings(idx, n_samples=10):
+    t1 = np.zeros(n_samples)
+    for i in idx:
+        t1[i] = 10.0
+    return TvlaResult("x", 1000, t1, np.zeros(n_samples), np.zeros(n_samples))
+
+
+def test_consistent_leakage_requires_common_sample():
+    """The paper's rule: crossings must align across fixed plaintexts."""
+    a = _result_with_crossings([2, 5])
+    b = _result_with_crossings([5, 7])
+    c = _result_with_crossings([5])
+    d = _result_with_crossings([3])
+    assert consistent_leakage([a, b, c])
+    assert not consistent_leakage([a, b, d])
+    assert not consistent_leakage([])
+
+
+def test_consistent_leakage_single_result():
+    assert consistent_leakage([_result_with_crossings([1])])
+    assert not consistent_leakage([_result_with_crossings([])])
+
+
+def test_constant_samples_give_zero_t():
+    acc = TTestAccumulator(2)
+    acc.update(np.ones((100, 2)), np.ones(100, bool))
+    acc.update(np.ones((100, 2)), np.zeros(100, bool))
+    for order in (1, 2, 3):
+        assert np.all(np.isfinite(acc.t_stats(order)))

@@ -1,0 +1,85 @@
+"""Tests for the unprotected DES baseline engine."""
+
+import numpy as np
+import pytest
+
+from repro.des.bits import int_to_bitarray
+from repro.des.reference import des_encrypt_bits
+from repro.des.unprotected import UnprotectedDESEngine, build_unprotected_sbox
+from repro.des.reference import sbox_lookup
+from repro.netlist.area import report
+from repro.netlist.circuit import Circuit
+from repro.sim.vectorsim import VectorSimulator
+
+_ENGINE = None
+
+
+def engine():
+    global _ENGINE
+    if _ENGINE is None:
+        _ENGINE = UnprotectedDESEngine()
+    return _ENGINE
+
+
+@pytest.mark.parametrize("sbox", [0, 3, 7])
+def test_unprotected_sbox_matches_table(sbox):
+    c = Circuit("usb")
+    ins = [c.add_input(f"x{i}") for i in range(6)]
+    outs = build_unprotected_sbox(c, sbox, ins)
+    for b, w in enumerate(outs):
+        c.mark_output(f"y{b}", w)
+    c.check()
+    rng = np.random.default_rng(sbox)
+    n = 500
+    vals = rng.integers(0, 64, n, dtype=np.uint64)
+    bits = int_to_bitarray(vals, 6)
+    sim = VectorSimulator(c, n)
+    sim.evaluate_combinational({ins[i]: bits[i] for i in range(6)})
+    out = sim.output_values()
+    got = np.zeros(n, dtype=int)
+    for b in range(4):
+        got = (got << 1) | out[f"y{b}"].astype(int)
+    ref = np.array([sbox_lookup(sbox, int(v)) for v in vals])
+    assert np.array_equal(got, ref)
+
+
+def test_engine_matches_reference():
+    rng = np.random.default_rng(0)
+    pt = int_to_bitarray(rng.integers(0, 2**63, 32, dtype=np.uint64), 64)
+    ky = int_to_bitarray(rng.integers(0, 2**63, 32, dtype=np.uint64), 64)
+    ct, power = engine().run_batch(pt, ky)
+    assert np.array_equal(ct, des_encrypt_bits(pt, ky))
+    assert power.shape == (32, engine().n_samples)
+    assert power.sum() > 0
+
+
+def test_engine_one_cycle_per_round():
+    assert engine().cycles_per_round == 1
+    assert engine().total_cycles == 17
+
+
+def test_unprotected_much_smaller_than_masked():
+    """The cost of masking in GE (paper context: masked ~15.9k GE)."""
+    from repro.des.engines import MaskedDESNetlistEngine
+
+    unprot = report(engine().circuit).area_ge
+    masked = report(MaskedDESNetlistEngine("ff").circuit).area_ge
+    assert 2.0 < masked / unprot < 6.0
+
+
+def test_no_record_mode():
+    rng = np.random.default_rng(1)
+    pt = int_to_bitarray(rng.integers(0, 2**63, 8, dtype=np.uint64), 64)
+    ky = int_to_bitarray(rng.integers(0, 2**63, 8, dtype=np.uint64), 64)
+    ct, power = engine().run_batch(pt, ky, record=False)
+    assert power is None
+    assert np.array_equal(ct, des_encrypt_bits(pt, ky))
+
+
+def test_power_depends_on_data():
+    pt1 = int_to_bitarray(np.uint64(0), 64, 4)
+    pt2 = int_to_bitarray(np.uint64((1 << 64) - 1), 64, 4)
+    ky = int_to_bitarray(np.uint64(0x133457799BBCDFF1), 64, 4)
+    _, p1 = engine().run_batch(pt1, ky)
+    _, p2 = engine().run_batch(pt2, ky)
+    assert not np.array_equal(p1, p2)

@@ -1,0 +1,139 @@
+"""Unit tests for the vectorised glitch simulator, including the
+scalar/vector cross-check on random circuits."""
+
+import numpy as np
+import pytest
+
+from repro.netlist.circuit import Circuit
+from repro.sim.power import PowerRecorder
+from repro.sim.simulator import ScalarSimulator
+from repro.sim.vectorsim import SimulationError, VectorSimulator
+
+
+def xor_and_circuit():
+    c = Circuit()
+    a, b = c.add_inputs("a", "b")
+    z = c.xor2(c.and2(a, b), c.or2(a, b))
+    c.mark_output("z", z)
+    return c, a, b, z
+
+
+def test_functional_evaluation():
+    c, a, b, z = xor_and_circuit()
+    sim = VectorSimulator(c, 4)
+    av = np.array([0, 0, 1, 1], bool)
+    bv = np.array([0, 1, 0, 1], bool)
+    sim.evaluate_combinational({a: av, b: bv})
+    assert np.array_equal(sim.values[z], (av & bv) ^ (av | bv))
+
+
+def test_settle_reaches_same_values_as_functional():
+    c, a, b, z = xor_and_circuit()
+    av = np.array([0, 1, 1], bool)
+    bv = np.array([1, 0, 1], bool)
+    s1 = VectorSimulator(c, 3)
+    s1.evaluate_combinational({a: av, b: bv})
+    s2 = VectorSimulator(c, 3)
+    s2.settle([(0, a, av), (0, b, bv)])
+    assert np.array_equal(s1.values[z], s2.values[z])
+
+
+def test_settle_returns_last_event_time():
+    c, a, b, z = xor_and_circuit()
+    sim = VectorSimulator(c, 1)
+    t = sim.settle([(100, a, np.array([True]))])
+    assert t >= 100
+
+
+def test_scalar_broadcast_events():
+    c, a, b, z = xor_and_circuit()
+    sim = VectorSimulator(c, 5)
+    sim.settle([(0, a, True), (0, b, False)])
+    assert np.all(sim.values[a])
+    assert not np.any(sim.values[b])
+
+
+def test_bad_event_shape_rejected():
+    c, a, b, z = xor_and_circuit()
+    sim = VectorSimulator(c, 4)
+    with pytest.raises(ValueError, match="expected shape"):
+        sim.settle([(0, a, np.zeros(3, bool))])
+
+
+def test_output_values_and_wire_values():
+    c, a, b, z = xor_and_circuit()
+    sim = VectorSimulator(c, 2)
+    sim.evaluate_combinational({a: True, b: True})
+    out = sim.output_values()
+    assert np.array_equal(out["z"], sim.wire_values(z))
+
+
+def test_event_budget_error():
+    c = Circuit()
+    a = c.add_input("a")
+    w = a
+    for _ in range(100):
+        w = c.inv(w)
+    sim = VectorSimulator(c, 1)
+    sim.evaluate_combinational({a: False})
+    with pytest.raises(SimulationError, match="budget"):
+        sim.settle([(0, a, True)], max_events=3)
+
+
+def test_power_recorded_on_transitions():
+    c, a, b, z = xor_and_circuit()
+    sim = VectorSimulator(c, 2)
+    sim.evaluate_combinational({a: False, b: False})
+    rec = PowerRecorder(2, 1000, bin_ps=250, weights=sim.weights)
+    sim.settle([(0, a, np.array([True, False]))], recorder=rec)
+    # trace 0 toggled, trace 1 did not
+    assert rec.power[0].sum() > 0
+    assert rec.power[1].sum() == 0
+
+
+def test_ff_outputs_not_driven_combinationally():
+    c = Circuit()
+    a = c.add_input("a")
+    q = c.dff(a, name="ff")
+    z = c.inv(q)
+    sim = VectorSimulator(c, 1)
+    sim.settle([(0, a, True)])
+    # the FF does not propagate combinationally: q stays 0
+    assert not sim.values[q][0]
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_vector_matches_scalar_on_random_circuit(seed):
+    """Transition-for-transition cross-check of the two engines."""
+    rng = np.random.default_rng(seed)
+    c = Circuit()
+    wires = [c.add_input(f"i{k}") for k in range(4)]
+    cells = ["AND2", "OR2", "XOR2", "NAND2", "NOR2", "XNOR2"]
+    for k in range(15):
+        kind = cells[rng.integers(0, len(cells))]
+        a, b = rng.choice(len(wires), 2)
+        wires.append(c.add_gate(kind, [wires[a], wires[b]]))
+
+    stim = [(int(200 * k), c.wire(f"i{k}"), bool(rng.integers(0, 2)))
+            for k in range(4)]
+
+    ssim = ScalarSimulator(c)
+    ssim.evaluate_combinational({c.wire(f"i{k}"): False for k in range(4)})
+    ssim.settle(stim, t_offset=100_000)
+
+    vsim = VectorSimulator(c, 1)
+    vsim.evaluate_combinational({c.wire(f"i{k}"): False for k in range(4)})
+    rec = PowerRecorder(1, 2000, bin_ps=1, weights=None)
+    vsim.settle([(t, w, np.array([v])) for t, w, v in stim], recorder=rec)
+
+    # same final values on every wire
+    for w in range(c.n_wires):
+        assert bool(vsim.values[w][0]) == ssim.values[w]
+    # same transition count during the stimulus window
+    scalar_toggles = sum(
+        1
+        for wf in ssim.waveforms.values()
+        for t, _ in wf.changes
+        if t >= 100_000
+    )
+    assert int(rec.power.sum()) == scalar_toggles
