@@ -142,8 +142,13 @@ def assess_sequence(
     noise_sigma: float = 1.0,
     seed: int = 0,
     threshold: float = THRESHOLD,
+    n_workers: int = 1,
 ) -> SequenceVerdict:
-    """Run the fixed-vs-random test for one arrival order."""
+    """Run the fixed-vs-random test for one arrival order.
+
+    ``n_workers`` shards the campaign's batches over processes; the
+    verdict is identical for any worker count.
+    """
     source = SequenceSource(sequence, n_instances=n_instances)
     cfg = CampaignConfig(
         n_traces=n_traces,
@@ -152,7 +157,7 @@ def assess_sequence(
         seed=seed,
         label="seq " + ">".join(sequence),
     )
-    result = run_campaign(source, cfg)
+    result = run_campaign(source, cfg, n_workers=n_workers)
     return SequenceVerdict(
         sequence=tuple(sequence),
         max_t1=result.max_abs(1),
@@ -168,6 +173,7 @@ def run_table1(
     n_instances: int = 8,
     noise_sigma: float = 1.0,
     seed: int = 0,
+    n_workers: int = 1,
 ) -> List[SequenceVerdict]:
     """Reproduce Table I over the given (default: all 24) sequences."""
     if sequences is None:
@@ -179,6 +185,7 @@ def run_table1(
             n_instances=n_instances,
             noise_sigma=noise_sigma,
             seed=seed + 17 * i,
+            n_workers=n_workers,
         )
         for i, seq in enumerate(sequences)
     ]

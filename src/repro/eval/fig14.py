@@ -94,8 +94,13 @@ def run(
     batch_size: int = 4_000,
     noise_sigma: float = 2.0,
     seed: int = 0,
+    n_workers: int = 1,
 ) -> Fig14Result:
-    """Regenerate all four Fig. 14 panels (scaled budgets)."""
+    """Regenerate all four Fig. 14 panels (scaled budgets).
+
+    ``n_workers`` parallelises each campaign's batches; results are
+    identical for any worker count.
+    """
     engine = MaskedDESNetlistEngine("ff")
 
     # (a) PRNG off
@@ -109,6 +114,7 @@ def run(
             seed=seed + 99,
             label="FF PRNG-off",
         ),
+        n_workers=n_workers,
     )
 
     # (b)(c)(d) PRNG on, three fixed plaintexts
@@ -125,6 +131,7 @@ def run(
             label="FF PRNG-on",
         ),
         n_fixed=len(FIXED_PLAINTEXTS),
+        n_workers=n_workers,
     )
     return Fig14Result(
         prng_off_detected_at=detected, prng_off=off_res, prng_on=on_res

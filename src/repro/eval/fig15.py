@@ -111,9 +111,11 @@ def run(
     batch_size: int = 4_000,
     noise_sigma: float = 2.0,
     seed: int = 0,
+    n_workers: int = 1,
 ) -> Fig15Result:
     """Run the sweep.  ``extended_sizes`` get the larger budget, like
-    the paper's 5 M-trace run at 7 LUTs (panel f)."""
+    the paper's 5 M-trace run at 7 LUTs (panel f).  ``n_workers``
+    parallelises each campaign's batches (identical results)."""
     points: List[SweepPoint] = []
     for n_luts in sizes:
         eng = MaskedDESNetlistEngine("pd", n_luts=n_luts)
@@ -129,6 +131,7 @@ def run(
                 seed=seed + n_luts,
                 label=f"PD DelayUnit={n_luts}",
             ),
+            n_workers=n_workers,
         )
         points.append(
             SweepPoint(

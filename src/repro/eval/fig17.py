@@ -91,8 +91,13 @@ def run(
     coupling_coefficient: float = DEFAULT_COUPLING,
     n_luts: int = 10,
     seed: int = 0,
+    n_workers: int = 1,
 ) -> Fig17Result:
-    """Regenerate the Fig. 17 panels (scaled budgets)."""
+    """Regenerate the Fig. 17 panels (scaled budgets).
+
+    ``n_workers`` parallelises each campaign's batches; results are
+    identical for any worker count.
+    """
     engine = MaskedDESNetlistEngine("pd", n_luts=n_luts)
 
     off_src = DESTraceSource(
@@ -111,6 +116,7 @@ def run(
             seed=seed + 99,
             label="PD PRNG-off",
         ),
+        n_workers=n_workers,
     )
 
     def make_source(i: int) -> DESTraceSource:
@@ -132,6 +138,7 @@ def run(
             label="PD PRNG-on",
         ),
         n_fixed=len(FIXED_PLAINTEXTS),
+        n_workers=n_workers,
     )
     return Fig17Result(
         prng_off_detected_at=detected,

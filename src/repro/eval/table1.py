@@ -71,6 +71,7 @@ def run(
     sequences: Optional[Sequence[Sequence[str]]] = None,
     noise_sigma: float = 1.0,
     seed: int = 0,
+    n_workers: int = 1,
 ) -> Table1Result:
     """Reproduce Table I (all 24 sequences by default)."""
     verdicts = run_table1(
@@ -78,5 +79,6 @@ def run(
         n_traces=n_traces,
         noise_sigma=noise_sigma,
         seed=seed,
+        n_workers=n_workers,
     )
     return Table1Result(verdicts)

@@ -8,7 +8,13 @@ from .tvla import (
     threshold_crossings,
     welch_t,
 )
-from .acquisition import CampaignConfig, TraceSource, run_campaign, run_multi_fixed
+from .acquisition import (
+    CampaignConfig,
+    TraceSource,
+    detect_leakage_traces,
+    run_campaign,
+    run_multi_fixed,
+)
 from .snr import snr
 from .prng import RandomnessSource
 
@@ -21,6 +27,7 @@ __all__ = [
     "welch_t",
     "CampaignConfig",
     "TraceSource",
+    "detect_leakage_traces",
     "run_campaign",
     "run_multi_fixed",
     "snr",

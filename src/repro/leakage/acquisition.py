@@ -11,12 +11,25 @@ accumulator.  The harness owns:
   the sigma used per experiment),
 * batching, so campaigns stream through the vectorised simulator in
   constant memory.
+
+Parallel acquisition
+--------------------
+Every batch derives its random stream from ``(campaign seed, batch
+index)``, so any batch can be simulated independently of the others.
+``run_campaign`` / ``detect_leakage_traces`` / ``run_multi_fixed``
+exploit this with ``n_workers``: batches are sharded across a process
+pool, each worker returns a per-batch :class:`TTestAccumulator`, and
+the shards are merged *in batch order* — which reproduces the serial
+run's float64 addition sequence bit for bit (see
+:meth:`TTestAccumulator.merge`).  A parallel campaign is therefore not
+"statistically equivalent" to the serial one; it is the same result.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Protocol, Sequence, Tuple
+import multiprocessing
+from dataclasses import dataclass, replace
+from typing import Callable, Iterator, List, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
 
@@ -37,6 +50,12 @@ class TraceSource(Protocol):
     ``n_samples`` is the trace length; :meth:`acquire` simulates one
     batch: traces where ``fixed_mask`` is True must use the fixed
     stimulus, the rest a fresh random stimulus.
+
+    Sources used with ``n_workers > 1`` must be picklable (the pool is
+    forked where the platform allows it, so this only bites on spawn
+    platforms), and :meth:`acquire` must derive all randomness from the
+    passed-in generator — module- or instance-level RNG state would
+    break the per-batch reproducibility contract.
     """
 
     n_samples: int
@@ -55,8 +74,13 @@ class CampaignConfig:
         batch_size: Traces per simulator batch.
         noise_sigma: Additive Gaussian measurement noise (std-dev, in
             units of one gate-toggle energy).
-        seed: Campaign seed (class assignment, stimuli, noise).
+        seed: Campaign seed (class assignment, stimuli, noise).  Batch
+            ``i`` uses the spawned stream ``default_rng([seed, i])``,
+            independent of how batches are distributed over workers.
         label: Free-form experiment label carried into the result.
+        n_workers: Default process count for campaign runners; the
+            ``n_workers`` argument of :func:`run_campaign` et al.
+            overrides it per call.  1 = in-process serial.
     """
 
     n_traces: int = 20000
@@ -64,23 +88,121 @@ class CampaignConfig:
     noise_sigma: float = 1.0
     seed: int = 0
     label: str = ""
+    n_workers: int = 1
 
 
-def run_campaign(source: TraceSource, config: CampaignConfig) -> TvlaResult:
-    """Run one fixed-vs-random TVLA campaign against ``source``."""
-    rng = np.random.default_rng(config.seed)
-    acc = TTestAccumulator(source.n_samples)
+# ----------------------------------------------------------------------
+# batching
+# ----------------------------------------------------------------------
+def _batch_plan(config: CampaignConfig) -> List[Tuple[int, int]]:
+    """``(batch_index, batch_size)`` for every batch of the campaign."""
+    plan: List[Tuple[int, int]] = []
     remaining = config.n_traces
     while remaining > 0:
         n = min(config.batch_size, remaining)
         remaining -= n
-        fixed_mask = rng.integers(0, 2, size=n).astype(bool)
-        traces = source.acquire(fixed_mask, rng)
-        if config.noise_sigma > 0:
-            traces = traces + rng.normal(
-                0.0, config.noise_sigma, size=traces.shape
-            ).astype(traces.dtype, copy=False)
-        acc.update(traces, fixed_mask)
+        plan.append((len(plan), n))
+    return plan
+
+
+def _acquire_batch(
+    source: TraceSource, config: CampaignConfig, index: int, n: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Simulate batch ``index``: class assignment, traces, noise.
+
+    This is the single definition of the per-batch acquisition protocol
+    (formerly duplicated between ``run_campaign`` and
+    ``detect_leakage_traces``).  The batch's generator is seeded with
+    ``[campaign seed, batch index]``, making every batch reproducible
+    in isolation — the property the parallel runner relies on.
+    """
+    rng = np.random.default_rng([config.seed, index])
+    fixed_mask = rng.integers(0, 2, size=n).astype(bool)
+    traces = source.acquire(fixed_mask, rng)
+    if config.noise_sigma > 0:
+        traces = traces + rng.normal(
+            0.0, config.noise_sigma, size=traces.shape
+        ).astype(traces.dtype, copy=False)
+    return fixed_mask, traces
+
+
+def _batch_accumulator(
+    source: TraceSource, config: CampaignConfig, index: int, n: int
+) -> TTestAccumulator:
+    """One batch folded into a fresh per-batch accumulator (a shard)."""
+    fixed_mask, traces = _acquire_batch(source, config, index, n)
+    acc = TTestAccumulator(source.n_samples)
+    acc.update(traces, fixed_mask)
+    return acc
+
+
+# Worker-process state, installed once per worker by the pool
+# initializer so the source/config are not re-pickled per task.
+_WORKER_STATE: Optional[Tuple[TraceSource, CampaignConfig]] = None
+
+
+def _init_worker(source: TraceSource, config: CampaignConfig) -> None:
+    global _WORKER_STATE
+    _WORKER_STATE = (source, config)
+
+
+def _worker_batch(item: Tuple[int, int]) -> TTestAccumulator:
+    index, n = item
+    source, config = _WORKER_STATE  # type: ignore[misc]
+    return _batch_accumulator(source, config, index, n)
+
+
+def _iter_batch_accumulators(
+    source: TraceSource,
+    config: CampaignConfig,
+    n_workers: Optional[int] = None,
+) -> Iterator[TTestAccumulator]:
+    """Yield one accumulator shard per batch, in batch order.
+
+    ``n_workers <= 1``: batches are simulated in-process.  Otherwise a
+    process pool shards them; ``imap`` keeps the yield order equal to
+    the batch order, so consumers merging shards as they arrive get the
+    serial result bit for bit.  The pool prefers the ``fork`` start
+    method (no pickling of the source on dispatch) and falls back to
+    the platform default.
+    """
+    plan = _batch_plan(config)
+    if n_workers is None:
+        n_workers = config.n_workers
+    n_workers = max(1, min(int(n_workers), len(plan)))
+    if n_workers == 1:
+        for index, n in plan:
+            yield _batch_accumulator(source, config, index, n)
+        return
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        ctx = multiprocessing.get_context()
+    with ctx.Pool(
+        n_workers, initializer=_init_worker, initargs=(source, config)
+    ) as pool:
+        yield from pool.imap(_worker_batch, plan)
+
+
+# ----------------------------------------------------------------------
+# campaign runners
+# ----------------------------------------------------------------------
+def run_campaign(
+    source: TraceSource,
+    config: CampaignConfig,
+    n_workers: Optional[int] = None,
+) -> TvlaResult:
+    """Run one fixed-vs-random TVLA campaign against ``source``.
+
+    Args:
+        source: Device under test.
+        config: Campaign parameters.
+        n_workers: Process count; ``None`` uses ``config.n_workers``.
+            Any value yields the identical :class:`TvlaResult`.
+    """
+    acc = TTestAccumulator(source.n_samples)
+    for shard in _iter_batch_accumulators(source, config, n_workers):
+        acc.merge(shard)
     return acc.result(label=config.label)
 
 
@@ -90,6 +212,7 @@ def detect_leakage_traces(
     order: int = 1,
     threshold: float = 4.5,
     consecutive: int = 2,
+    n_workers: Optional[int] = None,
 ) -> Tuple[Optional[int], TvlaResult]:
     """How many traces until TVLA flags leakage?
 
@@ -99,32 +222,31 @@ def detect_leakage_traces(
     This regenerates the paper's "significant peaks with as little as
     12 000 traces" PRNG-off sanity numbers (Fig. 14a / 17d).
 
+    With ``n_workers > 1`` batches are simulated ahead in parallel but
+    *checked* strictly in batch order, so the detection point is the
+    same as the serial run's; workers simulating batches beyond the
+    detection point are cancelled when the generator is closed.
+
     Returns:
         ``(n_traces_at_detection or None, final TvlaResult)``.
     """
-    rng = np.random.default_rng(config.seed)
     acc = TTestAccumulator(source.n_samples)
-    remaining = config.n_traces
     hits = 0
     detected: Optional[int] = None
-    while remaining > 0:
-        n = min(config.batch_size, remaining)
-        remaining -= n
-        fixed_mask = rng.integers(0, 2, size=n).astype(bool)
-        traces = source.acquire(fixed_mask, rng)
-        if config.noise_sigma > 0:
-            traces = traces + rng.normal(
-                0.0, config.noise_sigma, size=traces.shape
-            ).astype(traces.dtype, copy=False)
-        acc.update(traces, fixed_mask)
-        t = acc.t_stats(order)
-        if np.max(np.abs(t)) > threshold:
-            hits += 1
-            if hits >= consecutive and detected is None:
-                detected = acc.n_traces
-                break
-        else:
-            hits = 0
+    shards = _iter_batch_accumulators(source, config, n_workers)
+    try:
+        for shard in shards:
+            acc.merge(shard)
+            t = acc.t_stats(order)
+            if np.max(np.abs(t)) > threshold:
+                hits += 1
+                if hits >= consecutive and detected is None:
+                    detected = acc.n_traces
+                    break
+            else:
+                hits = 0
+    finally:
+        shards.close()
     return detected, acc.result(label=config.label)
 
 
@@ -132,6 +254,7 @@ def run_multi_fixed(
     make_source: Callable[[int], TraceSource],
     config: CampaignConfig,
     n_fixed: int = 3,
+    n_workers: Optional[int] = None,
 ) -> List[TvlaResult]:
     """The paper's protocol: repeat the test with several fixed plaintexts.
 
@@ -140,6 +263,7 @@ def run_multi_fixed(
             a trace source configured with that fixed stimulus.
         config: Shared campaign parameters (seed is offset per test).
         n_fixed: Number of different fixed plaintexts (paper uses 3).
+        n_workers: Forwarded to each :func:`run_campaign`.
 
     Returns:
         One :class:`TvlaResult` per fixed plaintext; combine with
@@ -147,12 +271,10 @@ def run_multi_fixed(
     """
     results = []
     for i in range(n_fixed):
-        cfg = CampaignConfig(
-            n_traces=config.n_traces,
-            batch_size=config.batch_size,
-            noise_sigma=config.noise_sigma,
+        cfg = replace(
+            config,
             seed=config.seed + 1000 * (i + 1),
             label=f"{config.label} fixed#{i}" if config.label else f"fixed#{i}",
         )
-        results.append(run_campaign(make_source(i), cfg))
+        results.append(run_campaign(make_source(i), cfg, n_workers=n_workers))
     return results

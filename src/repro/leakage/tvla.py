@@ -133,6 +133,30 @@ class TTestAccumulator:
         if (~fixed_mask).any():
             self._random.update(traces[~fixed_mask])
 
+    def merge(self, other: "TTestAccumulator") -> "TTestAccumulator":
+        """Fold another accumulator's population into this one.
+
+        Raw moment sums are additive, so a campaign can be sharded:
+        accumulate disjoint batches into separate accumulators (e.g. in
+        worker processes) and merge the shards afterwards.  Merging
+        per-batch shards *in batch order* performs exactly the float64
+        additions the serial accumulator would have performed, so the
+        combined statistics are bit-identical to a serial run — this is
+        what makes ``run_campaign(..., n_workers=k)`` reproducible.
+
+        Returns ``self`` (so shards can be ``functools.reduce``-folded).
+        """
+        if other.n_samples != self.n_samples:
+            raise ValueError(
+                f"cannot merge accumulators with {other.n_samples} and "
+                f"{self.n_samples} samples"
+            )
+        self._fixed.n += other._fixed.n
+        self._fixed.sums += other._fixed.sums
+        self._random.n += other._random.n
+        self._random.sums += other._random.sums
+        return self
+
     def t_stats(self, order: int = 1) -> np.ndarray:
         """Per-sample t-statistic at the requested order (1, 2 or 3)."""
         if order not in (1, 2, 3):

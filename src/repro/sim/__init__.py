@@ -6,6 +6,7 @@ transitions *are* the glitches the paper reasons about, and a
 toggle-count power model whose traces feed TVLA.
 """
 
+from .compiled import CompiledSchedule, compile_schedule, schedule_cache_info
 from .power import CouplingModel, NullRecorder, PowerRecorder, default_weights
 from .simulator import ScalarSimulator, Waveform
 from .vectorsim import InputEvent, SimulationError, VectorSimulator
@@ -13,6 +14,9 @@ from .clocking import ClockedHarness, TimingViolation
 from .vcd import to_vcd
 
 __all__ = [
+    "CompiledSchedule",
+    "compile_schedule",
+    "schedule_cache_info",
     "CouplingModel",
     "NullRecorder",
     "PowerRecorder",

@@ -45,6 +45,12 @@ class ClockedHarness:
         period_ps: Clock period; transitions later than this within a
             cycle raise :class:`TimingViolation` when ``check_timing``.
         check_timing: Enforce the period (default True).
+        compile_schedules: Record each cycle's event schedule on first
+            use and replay it for subsequent batches (default True; see
+            :mod:`repro.sim.compiled`).  Cycles driven with the same
+            input-event timing pattern — the common case in campaigns,
+            where every batch replays the same control sequence — then
+            skip the interpreted event loop entirely.
     """
 
     def __init__(
@@ -53,8 +59,11 @@ class ClockedHarness:
         n_traces: int,
         period_ps: int,
         check_timing: bool = True,
+        compile_schedules: bool = True,
     ):
-        self.sim = VectorSimulator(circuit, n_traces)
+        self.sim = VectorSimulator(
+            circuit, n_traces, compile_schedules=compile_schedules
+        )
         self.period_ps = period_ps
         self.check_timing = check_timing
         self.cycle = 0

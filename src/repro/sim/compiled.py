@@ -1,0 +1,473 @@
+"""Schedule compiler + replay engine for the vectorised simulator.
+
+Every leakage campaign re-simulates the *same* circuit with the *same*
+input-event timing pattern thousands of times — only the per-trace data
+changes.  Because cell delays are data-independent, the whole
+event-driven control flow of :meth:`VectorSimulator.settle` (which gate
+re-evaluates at which instant, where its output lands) is identical
+across batches.  The interpreted loop nevertheless re-derives it every
+call through a heap and per-event dicts, which is pure-Python overhead.
+
+This module removes that overhead:
+
+* :func:`compile_schedule` runs the scheduling algorithm **once**,
+  symbolically, and records the result as a flat program: a sequence of
+  time steps, each holding (a) the wire updates applied at that instant
+  and (b) the gate evaluations it triggers, grouped by cell opcode so a
+  whole group evaluates as one ``(n_gates_in_group, n_traces)`` numpy
+  expression;
+* :func:`replay` executes that program as straight-line numpy — no
+  heap, no dicts — with batched power-recorder updates per time bin.
+
+Exactness
+---------
+Replay is *transition-for-transition identical* to the interpreted
+path, not merely equivalent on average.  The compiled program is a
+conservative superset (every *potential* evaluation), and replay keeps
+the interpreter's data-dependent guards as vectorised masks:
+
+* a scheduled wire update is applied only if its producing evaluation
+  actually ran (``slot_valid``), mirroring "no event was scheduled";
+* a gate evaluates only if one of its inputs actually toggled in at
+  least one trace, mirroring the interpreter's ``toggled.any()`` skip;
+* power is recorded only for genuinely toggling updates, in the same
+  per-time order (required for the coupling model's coincidence
+  window), and the event budget / ``events_processed`` accounting
+  matches the interpreter's.
+
+Cache invalidation
+------------------
+Compiled programs are cached per circuit, keyed by the input-event
+timing pattern ``((t0, wire0), (t1, wire1), ...)``.  The cache is
+dropped whenever the circuit's structure changes (gate or wire count —
+circuits are append-only, so counts identify a build) and is bounded
+LRU; per-instance routing jitter is baked into the gate delays at build
+time, so a compiled schedule stays valid for the lifetime of a build,
+exactly like a placed-and-routed bitstream.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "CompiledSchedule",
+    "compile_schedule",
+    "lookup_or_compile",
+    "schedule_cache_info",
+    "replay",
+]
+
+#: Bound on the number of *potential* gate evaluations a compiled
+#: schedule may contain, as a multiple of the interpreter's default
+#: event budget.  Patterns exceeding it fall back to interpretation.
+_COMPILE_BUDGET_FACTOR = 1
+
+#: Maximum number of distinct timing patterns cached per circuit.
+_CACHE_CAPACITY = 128
+
+
+@dataclass
+class _EvalGroup:
+    """All gates of one cell type evaluating at one instant."""
+
+    evaluate: Callable[..., np.ndarray]
+    in_wires: np.ndarray  #: (n_pins, g) input wire ids
+    out_slots: np.ndarray  #: (g,) destination value slots
+    trig: np.ndarray  #: (g, k_updates) bool — which updates trigger row i
+    #: (g,) update index when every row has exactly one trigger, else None
+    #: (replay then gathers liveness instead of reducing the trig matrix).
+    trig_one: Optional[np.ndarray] = None
+
+
+@dataclass
+class _TimeStep:
+    """One event instant: wire updates, then triggered evaluations."""
+
+    t: float
+    upd_wires: np.ndarray  #: (k,) wire ids updated at t
+    upd_slots: np.ndarray  #: (k,) slots holding the scheduled values
+    groups: List[_EvalGroup]
+
+
+@dataclass
+class CompiledSchedule:
+    """A replayable straight-line program for one timing pattern."""
+
+    steps: List[_TimeStep]
+    n_slots: int
+    input_slots: List[int]  #: slot of each input event, in event order
+    n_potential_evals: int  #: size of the conservative schedule
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return (
+            f"CompiledSchedule({len(self.steps)} time steps, "
+            f"{self.n_potential_evals} potential evals, "
+            f"{self.n_slots} value slots)"
+        )
+
+
+# ----------------------------------------------------------------------
+# compilation
+# ----------------------------------------------------------------------
+def compile_schedule(
+    circuit,
+    comb_fanout: Dict[int, List[int]],
+    pattern: Sequence[Tuple[float, int]],
+    max_evals: Optional[int] = None,
+) -> Optional[CompiledSchedule]:
+    """Run the event scheduler symbolically and record its trace.
+
+    Mirrors ``VectorSimulator.settle`` exactly — same heap order, same
+    pending-slot overwrite rule (last write wins, original insertion
+    position kept), same fanout-dedup order — but propagates *potential*
+    changes instead of values.
+
+    Args:
+        circuit: The netlist (delays already include routing jitter).
+        comb_fanout: wire id -> combinational reader gate indices (FF
+            inputs excluded, as in the simulator).
+        pattern: ``(time, wire)`` of each input event, in event order.
+        max_evals: Abort threshold; returns ``None`` when the
+            conservative schedule grows past it (oscillating or
+            pathological patterns fall back to interpretation).
+
+    Returns:
+        The compiled program, or ``None`` if compilation was abandoned.
+    """
+    gates = circuit.gates
+    if max_evals is None:
+        max_evals = _COMPILE_BUDGET_FACTOR * (64 * max(1, len(gates)) + 64)
+
+    free: List[int] = []
+    n_slots = 0
+
+    def alloc() -> int:
+        nonlocal n_slots
+        if free:
+            return free.pop()
+        s = n_slots
+        n_slots += 1
+        return s
+
+    # pending[t] = {wire: slot} — dict preserves the interpreter's
+    # insertion order; overwriting keeps the original position, exactly
+    # like the interpreter's ``slot[wire] = vals``.
+    pending: Dict[float, Dict[int, int]] = {}
+    heap: List[float] = []
+    queued: set = set()
+
+    def schedule(t: float, wire: int, slot: int) -> None:
+        d = pending.setdefault(t, {})
+        old = d.get(wire)
+        if old is not None:
+            free.append(old)  # overwritten producer is never read
+        d[wire] = slot
+        if t not in queued:
+            queued.add(t)
+            heapq.heappush(heap, t)
+
+    input_slots: List[int] = []
+    for t, wire in pattern:
+        s = alloc()
+        input_slots.append(s)
+        schedule(t, wire, s)
+
+    steps: List[_TimeStep] = []
+    total_evals = 0
+    while heap:
+        t = heapq.heappop(heap)
+        queued.discard(t)
+        updates = pending.pop(t)
+        wires = list(updates.keys())
+        slots = list(updates.values())
+        # Consumed slots are reusable immediately: replay gathers their
+        # values before any same-instant evaluation writes new ones.
+        free.extend(slots)
+        wire_pos = {w: j for j, w in enumerate(wires)}
+
+        affected: List[int] = []
+        for w in wires:
+            affected.extend(comb_fanout.get(w, ()))
+        rows: List[Tuple[int, int, List[int]]] = []
+        for gi in dict.fromkeys(affected):
+            total_evals += 1
+            if total_evals > max_evals:
+                return None
+            g = gates[gi]
+            out_slot = alloc()
+            trig = sorted(
+                {wire_pos[w] for w in g.inputs if w in wire_pos}
+            )
+            rows.append((gi, out_slot, trig))
+            schedule(t + g.delay_ps, g.output, out_slot)
+
+        groups: List[_EvalGroup] = []
+        by_cell: Dict[str, List[Tuple[int, int, List[int]]]] = {}
+        for row in rows:
+            by_cell.setdefault(gates[row[0]].cell.name, []).append(row)
+        k = len(wires)
+        for cell_rows in by_cell.values():
+            g0 = gates[cell_rows[0][0]]
+            n_pins = len(g0.inputs)
+            in_wires = np.empty((n_pins, len(cell_rows)), dtype=np.intp)
+            out_slots = np.empty(len(cell_rows), dtype=np.intp)
+            trig = np.zeros((len(cell_rows), k), dtype=bool)
+            for i, (gi, out_slot, trig_cols) in enumerate(cell_rows):
+                in_wires[:, i] = gates[gi].inputs
+                out_slots[i] = out_slot
+                trig[i, trig_cols] = True
+            trig_one = None
+            if all(len(r[2]) == 1 for r in cell_rows):
+                trig_one = np.asarray(
+                    [r[2][0] for r in cell_rows], dtype=np.intp
+                )
+            groups.append(
+                _EvalGroup(
+                    evaluate=g0.cell.evaluate,
+                    in_wires=in_wires,
+                    out_slots=out_slots,
+                    trig=trig,
+                    trig_one=trig_one,
+                )
+            )
+        steps.append(
+            _TimeStep(
+                t=t,
+                upd_wires=np.asarray(wires, dtype=np.intp),
+                upd_slots=np.asarray(slots, dtype=np.intp),
+                groups=groups,
+            )
+        )
+    return CompiledSchedule(
+        steps=steps,
+        n_slots=n_slots,
+        input_slots=input_slots,
+        n_potential_evals=total_evals,
+    )
+
+
+# ----------------------------------------------------------------------
+# per-circuit cache
+# ----------------------------------------------------------------------
+def _cache_for(circuit) -> "OrderedDict":
+    """The circuit's schedule cache, invalidated on structural change."""
+    token = (len(circuit.gates), circuit.n_wires)
+    cache = getattr(circuit, "_compiled_schedule_cache", None)
+    if cache is None or cache[0] != token:
+        cache = (token, OrderedDict())
+        circuit._compiled_schedule_cache = cache
+    return cache[1]
+
+
+def lookup_or_compile(
+    circuit,
+    comb_fanout: Dict[int, List[int]],
+    pattern: Tuple[Tuple[float, int], ...],
+) -> Optional[CompiledSchedule]:
+    """Cached :func:`compile_schedule`; ``None`` means "interpret this".
+
+    Failed compilations are cached too, so a pathological pattern costs
+    the compile attempt only once.
+    """
+    cache = _cache_for(circuit)
+    if pattern in cache:
+        cache.move_to_end(pattern)
+        return cache[pattern]
+    schedule = compile_schedule(circuit, comb_fanout, pattern)
+    cache[pattern] = schedule
+    if len(cache) > _CACHE_CAPACITY:
+        cache.popitem(last=False)
+    return schedule
+
+
+def schedule_cache_info(circuit) -> Dict[str, int]:
+    """Diagnostics: number of cached patterns / compiled programs.
+
+    A cache built for an older structure of the circuit counts as
+    empty (it will be dropped on the next lookup).
+    """
+    cache = getattr(circuit, "_compiled_schedule_cache", None)
+    if cache is None or cache[0] != (len(circuit.gates), circuit.n_wires):
+        return {"patterns": 0, "compiled": 0}
+    programs = cache[1]
+    return {
+        "patterns": len(programs),
+        "compiled": sum(1 for s in programs.values() if s is not None),
+    }
+
+
+# ----------------------------------------------------------------------
+# replay
+# ----------------------------------------------------------------------
+def replay(
+    schedule: CompiledSchedule,
+    values: np.ndarray,
+    event_values: Sequence[np.ndarray],
+    recorder,
+    t_offset: float,
+    max_events: int,
+    circuit_name: str = "",
+) -> Tuple[float, int]:
+    """Execute a compiled program over ``(n_wires, n_traces)`` state.
+
+    Args:
+        schedule: Program from :func:`compile_schedule`.
+        values: The simulator's wire-value matrix (mutated in place).
+        event_values: One coerced ``(n_traces,)`` bool array per input
+            event, in the order of the compiled pattern.
+        recorder: Optional power recorder.  Recorders with coupling
+            partners (or without :meth:`add_energy`) take the exact
+            per-wire path; plain recorders get one batched per-time-bin
+            energy update.
+        t_offset: Absolute time of this call's t=0.
+        max_events: Gate-evaluation budget (same semantics as the
+            interpreter's).
+
+    Returns:
+        ``(settle_time, n_gate_evaluations)``.
+    """
+    from .vectorsim import SimulationError
+
+    n = values.shape[1] if values.ndim == 2 else 0
+    slot_values = np.empty((max(1, schedule.n_slots), n), dtype=bool)
+    slot_valid = np.zeros(max(1, schedule.n_slots), dtype=bool)
+    for slot, vals in zip(schedule.input_slots, event_values):
+        slot_values[slot] = vals
+        slot_valid[slot] = True
+
+    record_wire = None
+    add_energy = None
+    weights = None
+    if recorder is not None:
+        batched = not getattr(recorder, "_partners", None)
+        add_energy = getattr(recorder, "add_energy", None) if batched else None
+        if add_energy is None:
+            record_wire = recorder.record_wire
+        else:
+            weights = getattr(recorder, "_weights", None)
+
+    budget = max_events
+    processed = 0
+    last_t: float = 0
+    f32 = np.float32
+    for step in schedule.steps:
+        slots = step.upd_slots
+        wires = step.upd_wires
+
+        # --- single-update fast path: 1-D views, no fancy indexing ----
+        if len(slots) == 1:
+            s0 = slots[0]
+            if not slot_valid[s0]:
+                # Nothing was scheduled here, so none of the step's
+                # evaluations run — their (possibly reused) output
+                # slots must not keep a stale validity.
+                for grp in step.groups:
+                    slot_valid[grp.out_slots] = False
+                continue
+            last_t = step.t
+            w0 = wires[0]
+            new_row = slot_values[s0]
+            toggled_row = values[w0] ^ new_row
+            live0 = toggled_row.any()
+            if live0:
+                values[w0] = new_row
+                if record_wire is not None:
+                    record_wire(
+                        t_offset + step.t, int(w0), toggled_row, new_row
+                    )
+                elif add_energy is not None:
+                    # Identical arithmetic to record_wire's accumulation,
+                    # so this path is bitwise exact for *any* weights.
+                    scale = f32(1.0) if weights is None else f32(weights[w0])
+                    add_energy(t_offset + step.t, toggled_row * scale)
+            for grp in step.groups:
+                # k == 1: every row is triggered by the sole update.
+                out_slots = grp.out_slots
+                slot_valid[out_slots] = live0
+                if not live0:
+                    continue
+                cnt = len(out_slots)
+                budget -= cnt
+                if budget < 0:
+                    raise SimulationError(
+                        f"event budget exhausted at t={step.t} "
+                        f"(oscillation in {circuit_name!r}?)"
+                    )
+                processed += cnt
+                iw = grp.in_wires
+                if len(iw) == 2:
+                    out = grp.evaluate(values[iw[0]], values[iw[1]])
+                elif len(iw) == 1:
+                    out = grp.evaluate(values[iw[0]])
+                else:
+                    out = grp.evaluate(*(values[w] for w in iw))
+                slot_values[out_slots] = out
+            continue
+
+        # --- general path: k simultaneous updates ---------------------
+        valid = slot_valid[slots]
+        all_valid = valid.all()
+        if not all_valid and not valid.any():
+            # Dead step: invalidate its outputs (slot reuse, see above).
+            for grp in step.groups:
+                slot_valid[grp.out_slots] = False
+            continue
+        last_t = step.t
+        new = slot_values[slots]
+        toggled = values[wires] ^ new
+        if not all_valid:
+            toggled[~valid] = False
+        live = toggled.any(axis=1)
+        n_live = int(live.sum())
+        if n_live:
+            if n_live == len(live):
+                values[wires] = new
+            else:
+                values[wires[live]] = new[live]
+            if record_wire is not None:
+                t_abs = t_offset + step.t
+                for r in np.nonzero(live)[0]:
+                    record_wire(t_abs, int(wires[r]), toggled[r], new[r])
+            elif add_energy is not None:
+                if weights is None:
+                    energy = np.dot(
+                        np.ones(len(wires), dtype=f32),
+                        toggled.view(np.uint8),
+                    )
+                else:
+                    energy = np.dot(
+                        weights[wires].astype(f32), toggled.view(np.uint8)
+                    )
+                add_energy(t_offset + step.t, energy)
+        for grp in step.groups:
+            out_slots = grp.out_slots
+            if grp.trig_one is not None:
+                glive = live[grp.trig_one]
+            else:
+                glive = (grp.trig & live).any(axis=1)
+            slot_valid[out_slots] = glive
+            cnt = int(glive.sum())
+            if cnt == 0:
+                continue
+            budget -= cnt
+            if budget < 0:
+                raise SimulationError(
+                    f"event budget exhausted at t={step.t} "
+                    f"(oscillation in {circuit_name!r}?)"
+                )
+            processed += cnt
+            iw = grp.in_wires
+            if len(iw) == 2:
+                out = grp.evaluate(values[iw[0]], values[iw[1]])
+            elif len(iw) == 1:
+                out = grp.evaluate(values[iw[0]])
+            else:
+                out = grp.evaluate(*(values[w] for w in iw))
+            slot_values[out_slots] = out
+    return last_t, processed

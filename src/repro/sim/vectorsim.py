@@ -23,6 +23,16 @@ apply the value updates per-trace with numpy boolean arrays; traces in
 which nothing toggled simply contribute no power.  This makes the
 simulation exact per trace while costing one numpy op per gate
 evaluation instead of one per (gate, trace).
+
+Schedule compilation
+--------------------
+The same data independence makes the *control flow* of ``settle``
+identical across batches: the first call with a given input-event
+timing pattern records the evaluation schedule via
+:mod:`repro.sim.compiled`, and subsequent calls replay it as
+straight-line numpy (no heap, no per-event dicts, batched power
+updates) with transition-for-transition identical results.  Pass
+``compile_schedules=False`` to force the interpreted path.
 """
 
 from __future__ import annotations
@@ -33,6 +43,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..netlist.circuit import Circuit
+from .compiled import lookup_or_compile, replay
 from .power import PowerRecorder, default_weights
 
 __all__ = ["VectorSimulator", "InputEvent", "SimulationError"]
@@ -55,10 +66,13 @@ class VectorSimulator:
     naturally: state only changes through events.
     """
 
-    def __init__(self, circuit: Circuit, n_traces: int):
+    def __init__(
+        self, circuit: Circuit, n_traces: int, compile_schedules: bool = True
+    ):
         circuit.check()
         self.circuit = circuit
         self.n_traces = n_traces
+        self.compile_schedules = compile_schedules
         self.values = np.zeros((circuit.n_wires, n_traces), dtype=bool)
         self._fanout = circuit.fanout_map()
         # Fanout restricted to combinational gates: FF inputs are
@@ -116,6 +130,27 @@ class VectorSimulator:
         gates = self.circuit.gates
         if max_events is None:
             max_events = 64 * max(1, len(gates)) + 64
+        events = [(t, wire, self._coerce(vals)) for t, wire, vals in input_events]
+
+        if self.compile_schedules:
+            program = lookup_or_compile(
+                self.circuit,
+                self._comb_fanout,
+                tuple((t, wire) for t, wire, _ in events),
+            )
+            if program is not None:
+                last_t, n_evals = replay(
+                    program,
+                    self.values,
+                    [vals for _, _, vals in events],
+                    recorder,
+                    t_offset,
+                    max_events,
+                    self.circuit.name,
+                )
+                self.events_processed += n_evals
+                return last_t
+
         # pending[t] = {wire: new_value_array}
         pending: Dict[int, Dict[int, np.ndarray]] = {}
         heap: List[int] = []
@@ -128,8 +163,8 @@ class VectorSimulator:
                 queued.add(t)
                 heapq.heappush(heap, t)
 
-        for t, wire, vals in input_events:
-            schedule(t, wire, self._coerce(vals))
+        for t, wire, vals in events:
+            schedule(t, wire, vals)
 
         last_t = 0
         budget = max_events
@@ -165,7 +200,15 @@ class VectorSimulator:
                 if len(ins) == 2:
                     out = g.cell.evaluate(values[ins[0]], values[ins[1]])
                 elif len(ins) == 1:
-                    out = g.cell.evaluate(values[ins[0]])
+                    src = values[ins[0]]
+                    out = g.cell.evaluate(src)
+                    if out is src:
+                        # Identity cells (BUF/DELAY) return their input
+                        # row *view*; snapshot it, otherwise the pending
+                        # value would alias live wire state and deliver
+                        # the wire's future value instead of its value
+                        # at evaluation time.
+                        out = out.copy()
                 else:
                     out = g.cell.evaluate(*(values[w] for w in ins))
                 schedule(t + g.delay_ps, g.output, out)

@@ -101,3 +101,73 @@ def test_multi_fixed_runs_requested_tests():
     assert all(r.leaks(1) for r in results)
     # seeds differ across the tests
     assert len({r.label for r in results}) == 3
+
+
+# ----------------------------------------------------------------------
+# parallel campaigns
+# ----------------------------------------------------------------------
+def test_parallel_campaign_matches_serial_20k():
+    """Acceptance check: n_workers=4 reproduces the serial t-stats."""
+    cfg = CampaignConfig(
+        n_traces=20_000, batch_size=1000, noise_sigma=1.0, seed=11
+    )
+    serial = run_campaign(SyntheticSource(leak=0.3), cfg)
+    parallel = run_campaign(SyntheticSource(leak=0.3), cfg, n_workers=4)
+    assert parallel.n_traces == serial.n_traces == 20_000
+    for a, b in ((serial.t1, parallel.t1), (serial.t2, parallel.t2),
+                 (serial.t3, parallel.t3)):
+        rel = np.abs(a - b) / np.maximum(np.abs(a), 1e-30)
+        assert np.all(rel[a != 0] <= 1e-9)
+        assert np.array_equal(a, b)  # in fact bitwise identical
+
+
+def test_parallel_detection_matches_serial():
+    cfg = CampaignConfig(
+        n_traces=20_000, batch_size=500, noise_sigma=0.0, seed=3
+    )
+    d_serial, _ = detect_leakage_traces(SyntheticSource(leak=1.0), cfg)
+    d_par, _ = detect_leakage_traces(
+        SyntheticSource(leak=1.0), cfg, n_workers=4
+    )
+    assert d_serial is not None
+    assert d_par == d_serial
+
+
+def test_config_n_workers_used_as_default():
+    cfg = CampaignConfig(
+        n_traces=4000, batch_size=1000, noise_sigma=0.0, seed=6, n_workers=2
+    )
+    res = run_campaign(SyntheticSource(leak=0.5), cfg)  # pool via config
+    ref = run_campaign(
+        SyntheticSource(leak=0.5),
+        CampaignConfig(n_traces=4000, batch_size=1000, noise_sigma=0.0, seed=6),
+    )
+    assert np.array_equal(res.t1, ref.t1)
+
+
+def test_parallel_with_simulator_source():
+    """End-to-end: a real gadget-bank source through the process pool."""
+    from repro.core.sequences import SequenceSource
+
+    make = lambda: SequenceSource(
+        ("x0", "x1", "y0", "y1"), n_instances=2
+    )
+    cfg = CampaignConfig(
+        n_traces=1200, batch_size=300, noise_sigma=1.0, seed=8
+    )
+    serial = run_campaign(make(), cfg)
+    parallel = run_campaign(make(), cfg, n_workers=3)
+    assert np.array_equal(serial.t1, parallel.t1)
+    assert np.array_equal(serial.t2, parallel.t2)
+
+
+def test_multi_fixed_parallel_matches_serial():
+    cfg = CampaignConfig(
+        n_traces=2000, batch_size=500, noise_sigma=0.0, seed=5
+    )
+    serial = run_multi_fixed(lambda i: SyntheticSource(leak=0.5), cfg, n_fixed=2)
+    par = run_multi_fixed(
+        lambda i: SyntheticSource(leak=0.5), cfg, n_fixed=2, n_workers=2
+    )
+    for a, b in zip(serial, par):
+        assert np.array_equal(a.t1, b.t1)

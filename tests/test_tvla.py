@@ -152,3 +152,52 @@ def test_constant_samples_give_zero_t():
     acc.update(np.ones((100, 2)), np.zeros(100, bool))
     for order in (1, 2, 3):
         assert np.all(np.isfinite(acc.t_stats(order)))
+
+
+# ----------------------------------------------------------------------
+# merge (sharded accumulation)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4, 5, 6, 7])
+def test_merge_property_shards_match_serial(seed):
+    """Property: shards merged in order == one serial accumulator.
+
+    Random trace matrices, random shard boundaries, random class
+    assignments — the raw sums are added in the same order either way,
+    so the statistics agree to float tolerance (and the identical
+    per-batch partial sums make them bitwise equal here).
+    """
+    r = rng(seed)
+    n_samples = int(r.integers(2, 12))
+    n_batches = int(r.integers(2, 7))
+    serial = TTestAccumulator(n_samples)
+    shards = []
+    for _ in range(n_batches):
+        n = int(r.integers(5, 60))
+        traces = r.normal(3.0, 1.5, (n, n_samples))
+        mask = r.integers(0, 2, n).astype(bool)
+        serial.update(traces, mask)
+        shard = TTestAccumulator(n_samples)
+        shard.update(traces, mask)
+        shards.append(shard)
+    merged = TTestAccumulator(n_samples)
+    for shard in shards:
+        assert merged.merge(shard) is merged
+    assert merged.n_traces == serial.n_traces
+    for order in (1, 2, 3):
+        a, b = merged.t_stats(order), serial.t_stats(order)
+        assert np.allclose(a, b, rtol=1e-9, atol=1e-12)
+        assert np.array_equal(a, b)  # identical addition sequence
+
+
+def test_merge_rejects_sample_mismatch():
+    with pytest.raises(ValueError, match="merge"):
+        TTestAccumulator(4).merge(TTestAccumulator(5))
+
+
+def test_merge_empty_shard_is_identity():
+    r = rng(9)
+    acc = TTestAccumulator(3)
+    acc.update(r.normal(0, 1, (50, 3)), r.integers(0, 2, 50).astype(bool))
+    before = acc.t_stats(1).copy()
+    acc.merge(TTestAccumulator(3))
+    assert np.array_equal(acc.t_stats(1), before)
