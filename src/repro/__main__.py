@@ -31,6 +31,9 @@ _QUICK_KWARGS = {
     "fig14": dict(n_traces=6_000, n_traces_off=3_000),
     "fig15": dict(sizes=(1, 5, 10), n_traces=5_000, extended_sizes=()),
     "fig17": dict(n_traces=8_000, n_traces_off=3_000, coupling_coefficient=5.0),
+    "fault_sweep": dict(
+        sigmas=(0, 300, 600), n_traces=3_000, include_des=False
+    ),
 }
 
 

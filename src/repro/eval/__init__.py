@@ -13,6 +13,10 @@ fig15   DelayUnit size sweep                            eval.fig15
 fig17   TVLA of the PD engine (coupling)                eval.fig17
 ======  ==============================================  ==============
 
+plus ``fault_sweep`` (eval.fault_sweep): the delay-variation
+margin-erosion sweep over the fault-injection subsystem — not a paper
+figure, but the robustness question behind Sec. VII-B.
+
 Each module exposes ``run(...)`` returning a result object with a
 ``render()`` method; the benchmark harness under ``benchmarks/`` calls
 these with reduced budgets, and ``examples/reproduce_paper.py`` runs the
@@ -21,7 +25,17 @@ full scaled campaign.
 
 from typing import Callable, Dict
 
-from . import fig14, fig15, fig17, report, table1, table2, table3, traces
+from . import (
+    fault_sweep,
+    fig14,
+    fig15,
+    fig17,
+    report,
+    table1,
+    table2,
+    table3,
+    traces,
+)
 
 EXPERIMENTS: Dict[str, Callable] = {
     "table1": table1.run,
@@ -32,10 +46,12 @@ EXPERIMENTS: Dict[str, Callable] = {
     "fig14": fig14.run,
     "fig15": fig15.run,
     "fig17": fig17.run,
+    "fault_sweep": fault_sweep.run,
 }
 
 __all__ = [
     "EXPERIMENTS",
+    "fault_sweep",
     "fig14",
     "fig15",
     "fig17",

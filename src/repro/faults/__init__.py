@@ -1,0 +1,53 @@
+"""Fault injection for gate-level netlists.
+
+The paper's security argument for secAND2-PD is *temporal*: input
+arrival ordering margins (Sec. II-B / IV) that nominal-delay simulation
+never stresses.  This package perturbs netlists the way silicon does —
+process variation on gate delays, stuck-at defects, transient glitch
+pulses (SETs), clock jitter — as deterministic, seeded transforms that
+return a perturbed *copy* of the circuit, and sweeps those
+perturbations against both the static ordering checker and full TVLA
+campaigns to locate the margin at which the gadgets start leaking.
+
+* :mod:`repro.faults.models` — the fault transforms.
+* :mod:`repro.faults.sweep` — the margin-erosion sweep (delay-variation
+  sigma vs. ``max|t|`` with a first-violated-constraint report).
+"""
+
+from .models import (
+    FAULT_STREAM,
+    clock_jitter_periods,
+    delay_unit_vector,
+    delay_variation,
+    glitch_events,
+    perturbed_engine,
+    shift_gate_delay,
+    stuck_at,
+    transient_glitch,
+)
+from .sweep import (
+    FaultSweepPoint,
+    FaultSweepResult,
+    PDBankSource,
+    build_pd_bank,
+    des_margin_erosion,
+    margin_erosion_sweep,
+)
+
+__all__ = [
+    "FAULT_STREAM",
+    "clock_jitter_periods",
+    "delay_unit_vector",
+    "delay_variation",
+    "glitch_events",
+    "perturbed_engine",
+    "shift_gate_delay",
+    "stuck_at",
+    "transient_glitch",
+    "FaultSweepPoint",
+    "FaultSweepResult",
+    "PDBankSource",
+    "build_pd_bank",
+    "des_margin_erosion",
+    "margin_erosion_sweep",
+]

@@ -1,0 +1,323 @@
+"""Deterministic, seeded fault models over gate-level netlists.
+
+Each transform takes a :class:`~repro.netlist.circuit.Circuit` and
+returns a perturbed **copy** built with :meth:`Circuit.copy`: the
+original netlist is never touched, and the copy carries fresh caches,
+so the compiled-schedule cache of :mod:`repro.sim.compiled` (keyed on
+:meth:`Circuit.structural_token`, which fingerprints per-gate delays)
+can never serve a stale schedule for the perturbed build.
+
+All randomness is drawn from ``default_rng([seed, FAULT_STREAM...])``
+— a sub-stream disjoint from the campaign streams
+``default_rng([seed, batch_index])`` — so fault draws are reproducible
+and never collide with acquisition randomness.
+
+Common-random-numbers design
+----------------------------
+:func:`delay_variation` draws one *unit* perturbation per gate from the
+seed alone and scales it by ``sigma_ps``.  Sweeping sigma with a fixed
+seed therefore moves every gate delay linearly along a fixed direction:
+arrival-time margins erode (piecewise-)linearly and monotonically in
+sigma, which is what makes the margin-erosion sweep of
+:mod:`repro.faults.sweep` a well-posed "at which sigma does the design
+break" question instead of a noisy re-randomised experiment.
+"""
+
+from __future__ import annotations
+
+import copy as _copy
+from dataclasses import replace as _gate_replace
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..netlist.cells import CellType
+from ..netlist.circuit import Circuit, Gate
+
+__all__ = [
+    "FAULT_STREAM",
+    "delay_variation",
+    "delay_unit_vector",
+    "shift_gate_delay",
+    "stuck_at",
+    "transient_glitch",
+    "glitch_events",
+    "clock_jitter_periods",
+    "perturbed_engine",
+]
+
+#: Sub-stream key mixed into every fault RNG seed.  Campaign batches
+#: draw from ``default_rng([seed, batch_index])`` with small indices;
+#: this constant keeps the fault streams disjoint from all of them.
+FAULT_STREAM = 0xFA017
+
+
+def _resolve_wire(circuit: Circuit, wire: Union[int, str]) -> int:
+    if isinstance(wire, str):
+        return circuit.wire(wire)
+    if not 0 <= int(wire) < circuit.n_wires:
+        raise ValueError(f"wire id {wire} does not exist in {circuit.name!r}")
+    return int(wire)
+
+
+# ----------------------------------------------------------------------
+# delay variation (process variation / voltage-temperature drift)
+# ----------------------------------------------------------------------
+def delay_unit_vector(
+    circuit: Circuit, seed: int = 0, distribution: str = "gaussian"
+) -> np.ndarray:
+    """Per-gate unit perturbation (one draw per gate, seed-only).
+
+    The vector depends on the seed and gate count alone — *not* on
+    sigma — so :func:`delay_variation` applies common random numbers
+    across a sigma sweep.
+    """
+    rng = np.random.default_rng([int(seed), FAULT_STREAM])
+    n = len(circuit.gates)
+    if distribution == "gaussian":
+        return rng.standard_normal(n)
+    if distribution == "uniform":
+        return rng.uniform(-1.0, 1.0, size=n)
+    raise ValueError("distribution must be 'gaussian' or 'uniform'")
+
+
+def delay_variation(
+    circuit: Circuit,
+    sigma_ps: float,
+    seed: int = 0,
+    distribution: str = "gaussian",
+    min_delay_ps: float = 1.0,
+    cells: Optional[Sequence[str]] = None,
+) -> Circuit:
+    """Per-gate delay variation: ``delay += sigma_ps * unit_draw``.
+
+    Args:
+        circuit: Netlist to perturb (untouched).
+        sigma_ps: Variation scale in picoseconds.  ``0`` returns an
+            unperturbed copy (still with fresh caches).
+        seed: Fault seed; the same seed gives the same perturbation
+            *direction* at every sigma (common random numbers).
+        distribution: ``"gaussian"`` (standard-normal draws) or
+            ``"uniform"`` (draws in [-1, 1]).
+        min_delay_ps: Floor applied after perturbation — a physical
+            gate never has non-positive delay.
+        cells: Restrict the perturbation to these cell names (e.g.
+            ``("DELAY",)`` to stress only the DelayUnit routes);
+            ``None`` perturbs every combinational gate.
+
+    Returns:
+        The perturbed copy.  Flip-flops are never touched (their timing
+        lives in the clocking harness, see :func:`clock_jitter_periods`).
+    """
+    if sigma_ps < 0:
+        raise ValueError("sigma_ps must be >= 0")
+    unit = delay_unit_vector(circuit, seed=seed, distribution=distribution)
+    new = circuit.copy()
+    only = None if cells is None else frozenset(cells)
+    gates = new.gates
+    for gi, g in enumerate(gates):
+        if g.is_ff:
+            continue
+        if only is not None and g.cell.name not in only:
+            continue
+        d = max(float(min_delay_ps), g.delay_ps + float(sigma_ps) * float(unit[gi]))
+        if d != g.delay_ps:
+            gates[gi] = _gate_replace(g, delay_ps=d)
+    return new
+
+
+def shift_gate_delay(
+    circuit: Circuit,
+    gate_name: str,
+    delta_ps: float,
+    min_delay_ps: float = 0.0,
+) -> Circuit:
+    """Shift one named gate's delay by ``delta_ps`` (targeted fault).
+
+    Useful for collapsing a *specific* ordering margin — e.g. shrink a
+    secAND2-PD ``y1`` DelayUnit past the x-share arrivals and watch the
+    static checker and TVLA agree that exactly that gadget broke.
+    """
+    new = circuit.copy()
+    for gi, g in enumerate(new.gates):
+        if g.name == gate_name:
+            if g.is_ff:
+                raise ValueError(
+                    f"gate {gate_name!r} is sequential; FF timing is a "
+                    "harness property (see clock_jitter_periods)"
+                )
+            d = max(float(min_delay_ps), g.delay_ps + float(delta_ps))
+            new.gates[gi] = _gate_replace(g, delay_ps=d)
+            return new
+    raise ValueError(f"no gate named {gate_name!r} in {circuit.name!r}")
+
+
+# ----------------------------------------------------------------------
+# stuck-at defects
+# ----------------------------------------------------------------------
+def _eval_stuck0(*ins: np.ndarray) -> np.ndarray:
+    return np.zeros_like(ins[0])
+
+
+def _eval_stuck1(*ins: np.ndarray) -> np.ndarray:
+    return np.ones_like(ins[0])
+
+
+_STUCK_CELLS: Dict[Tuple[bool, int], CellType] = {}
+
+
+def _stuck_cell(value: bool, n_inputs: int) -> CellType:
+    key = (bool(value), int(n_inputs))
+    ct = _STUCK_CELLS.get(key)
+    if ct is None:
+        ct = CellType(
+            f"STUCK{int(value)}",
+            int(n_inputs),
+            0,
+            0.0,
+            _eval_stuck1 if value else _eval_stuck0,
+        )
+        _STUCK_CELLS[key] = ct
+    return ct
+
+
+def stuck_at(circuit: Circuit, wire: Union[int, str], value: bool) -> Circuit:
+    """Pin a gate-driven wire to a constant 0 or 1.
+
+    The driving gate is replaced by a constant cell that keeps the
+    original input pins (so it re-evaluates on the same triggers) but
+    always outputs ``value``.  The constant takes effect at the gate's
+    first evaluation — the zero-delay reset evaluation for sources that
+    settle the reset state, or the first input event otherwise; after
+    that the wire never toggles again (a stuck net contributes no
+    switching power).
+
+    Primary inputs have no driving gate — fault them by driving the
+    stuck value as a stimulus.  FF outputs are rejected too: fault the
+    D-pin driver instead.
+    """
+    w = _resolve_wire(circuit, wire)
+    new = circuit.copy()
+    for gi, g in enumerate(new.gates):
+        if g.output == w:
+            break
+    else:
+        raise ValueError(
+            f"wire {circuit.wire_name(w)!r} has no driving gate (primary "
+            "input or floating); drive the stuck value as a stimulus"
+        )
+    if g.is_ff:
+        raise ValueError(
+            f"wire {circuit.wire_name(w)!r} is an FF output; apply the "
+            "stuck-at to the gate driving its D pin instead"
+        )
+    new.gates[gi] = _gate_replace(g, cell=_stuck_cell(value, len(g.inputs)))
+    return new
+
+
+# ----------------------------------------------------------------------
+# transient glitch pulses (single-event transients)
+# ----------------------------------------------------------------------
+def transient_glitch(
+    circuit: Circuit, wire: Union[int, str], tag: str = "set"
+) -> Tuple[Circuit, int]:
+    """Instrument a wire with an XOR-splice SET injection site.
+
+    A fresh primary input (the *pulse*) is XORed onto ``wire`` through
+    a zero-delay gate; every reader of the wire (and any primary output
+    mapped to it) is rewired to the spliced net.  While the pulse is
+    low the circuit behaves identically; raising it for a bounded
+    window (see :func:`glitch_events`) inverts the wire for exactly
+    that window — a transient glitch pulse at a chosen net and time.
+
+    Returns:
+        ``(perturbed copy, pulse input wire id)``.
+    """
+    w = _resolve_wire(circuit, wire)
+    new = circuit.copy()
+    pulse = new.add_input(f"{tag}_pulse")
+    injected = new.add_wire(f"{tag}_site")
+    for gi, g in enumerate(new.gates):
+        if w in g.inputs:
+            new.gates[gi] = _gate_replace(
+                g, inputs=tuple(injected if x == w else x for x in g.inputs)
+            )
+    for name, out_w in list(new.outputs.items()):
+        if out_w == w:
+            new.outputs[name] = injected
+    new.add_gate("XOR2", [w, pulse], output=injected, name=f"{tag}_xor", delay_ps=0)
+    return new, pulse
+
+
+def glitch_events(
+    pulse_wire: int,
+    t_ps: int,
+    width_ps: int,
+    mask: Optional[np.ndarray] = None,
+) -> List[Tuple[int, int, "np.ndarray | bool"]]:
+    """Input events arming a SET pulse: rise at ``t_ps``, fall after
+    ``width_ps``.  ``mask`` selects the traces that receive the pulse
+    (default: all)."""
+    if width_ps <= 0:
+        raise ValueError("width_ps must be positive")
+    if mask is None:
+        return [(int(t_ps), pulse_wire, True), (int(t_ps + width_ps), pulse_wire, False)]
+    m = np.asarray(mask, dtype=bool)
+    return [
+        (int(t_ps), pulse_wire, m),
+        (int(t_ps + width_ps), pulse_wire, np.zeros_like(m)),
+    ]
+
+
+# ----------------------------------------------------------------------
+# clock-period jitter
+# ----------------------------------------------------------------------
+def clock_jitter_periods(
+    period_ps: int,
+    n_cycles: int,
+    sigma_ps: float,
+    seed: int = 0,
+    distribution: str = "gaussian",
+    min_period_ps: int = 1,
+) -> List[int]:
+    """Per-cycle clock periods under jitter, for
+    :class:`~repro.sim.clocking.ClockedHarness`'s ``period_schedule``.
+
+    Cycle ``i`` lasts ``period_ps + sigma_ps * draw_i`` (floored at
+    ``min_period_ps`` and rounded to integer picoseconds).  A shrunken
+    cycle can cut into the settle window of slow paths — with timing
+    checks enabled the harness reports exactly which cycle's period was
+    violated.
+    """
+    if n_cycles < 0:
+        raise ValueError("n_cycles must be >= 0")
+    if sigma_ps < 0:
+        raise ValueError("sigma_ps must be >= 0")
+    rng = np.random.default_rng([int(seed), FAULT_STREAM, 1])
+    if distribution == "gaussian":
+        draws = rng.standard_normal(n_cycles)
+    elif distribution == "uniform":
+        draws = rng.uniform(-1.0, 1.0, size=n_cycles)
+    else:
+        raise ValueError("distribution must be 'gaussian' or 'uniform'")
+    return [
+        max(int(min_period_ps), int(round(period_ps + sigma_ps * float(d))))
+        for d in draws
+    ]
+
+
+# ----------------------------------------------------------------------
+# engine adaptation
+# ----------------------------------------------------------------------
+def perturbed_engine(engine, sigma_ps: float, seed: int = 0, **kwargs):
+    """Shallow-copy a netlist engine with a delay-perturbed circuit.
+
+    Works for any object exposing a ``circuit`` attribute whose other
+    state (period, cycle counts, wire-id references) stays valid for a
+    delay-only perturbation — e.g.
+    :class:`~repro.des.engines.MaskedDESNetlistEngine`.  Extra keyword
+    arguments are forwarded to :func:`delay_variation`.
+    """
+    eng = _copy.copy(engine)
+    eng.circuit = delay_variation(engine.circuit, sigma_ps, seed=seed, **kwargs)
+    return eng

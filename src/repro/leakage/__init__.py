@@ -9,12 +9,14 @@ from .tvla import (
     welch_t,
 )
 from .acquisition import (
+    CampaignBatchError,
     CampaignConfig,
     TraceSource,
     detect_leakage_traces,
     run_campaign,
     run_multi_fixed,
 )
+from .resilient import load_checkpoint, run_campaign_resilient, save_checkpoint
 from .snr import snr
 from .prng import RandomnessSource
 
@@ -25,11 +27,15 @@ __all__ = [
     "consistent_leakage",
     "threshold_crossings",
     "welch_t",
+    "CampaignBatchError",
     "CampaignConfig",
     "TraceSource",
     "detect_leakage_traces",
+    "load_checkpoint",
     "run_campaign",
+    "run_campaign_resilient",
     "run_multi_fixed",
+    "save_checkpoint",
     "snr",
     "RandomnessSource",
 ]

@@ -28,6 +28,7 @@ run's float64 addition sequence bit for bit (see
 from __future__ import annotations
 
 import multiprocessing
+import traceback
 from dataclasses import dataclass, replace
 from typing import Callable, Iterator, List, Optional, Protocol, Sequence, Tuple
 
@@ -38,10 +39,43 @@ from .tvla import TTestAccumulator, TvlaResult
 __all__ = [
     "TraceSource",
     "CampaignConfig",
+    "CampaignBatchError",
     "run_campaign",
     "run_multi_fixed",
     "detect_leakage_traces",
 ]
+
+
+class CampaignBatchError(RuntimeError):
+    """A batch failed during acquisition.
+
+    Wraps the underlying source/simulator exception with the campaign
+    context a bare pickled traceback lacks: which batch died, of which
+    campaign.  The failing batch is re-runnable in isolation via
+    ``_acquire_batch(source, config, batch_index, n)``.
+
+    Attributes:
+        batch_index: Index of the failing batch.
+        label: ``config.label`` of the campaign.
+        worker_traceback: Formatted traceback from the worker process
+            (empty for in-process failures, where ``__cause__`` carries
+            the original exception instead).
+    """
+
+    def __init__(
+        self,
+        batch_index: int,
+        label: str,
+        message: str,
+        worker_traceback: str = "",
+    ):
+        detail = f"\n--- worker traceback ---\n{worker_traceback}" if worker_traceback else ""
+        super().__init__(
+            f"batch {batch_index} of campaign {label!r} failed: {message}{detail}"
+        )
+        self.batch_index = batch_index
+        self.label = label
+        self.worker_traceback = worker_traceback
 
 
 class TraceSource(Protocol):
@@ -89,6 +123,20 @@ class CampaignConfig:
     seed: int = 0
     label: str = ""
     n_workers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_traces <= 0:
+            raise ValueError(
+                f"n_traces must be > 0, got {self.n_traces} (an empty "
+                "campaign has no batches and would silently produce "
+                "all-zero statistics)"
+            )
+        if self.batch_size <= 0:
+            raise ValueError(f"batch_size must be > 0, got {self.batch_size}")
+        if self.noise_sigma < 0:
+            raise ValueError(
+                f"noise_sigma must be >= 0, got {self.noise_sigma}"
+            )
 
 
 # ----------------------------------------------------------------------
@@ -146,10 +194,30 @@ def _init_worker(source: TraceSource, config: CampaignConfig) -> None:
     _WORKER_STATE = (source, config)
 
 
-def _worker_batch(item: Tuple[int, int]) -> TTestAccumulator:
+@dataclass
+class _WorkerFailure:
+    """Sentinel a worker returns instead of raising.
+
+    Exceptions from arbitrary sources may not survive pickling back to
+    the parent; the sentinel always does, and carries the failing batch
+    index plus the formatted worker traceback for the parent to wrap
+    into a :class:`CampaignBatchError`.
+    """
+
+    index: int
+    message: str
+    traceback: str
+
+
+def _worker_batch(item: Tuple[int, int]) -> "TTestAccumulator | _WorkerFailure":
     index, n = item
     source, config = _WORKER_STATE  # type: ignore[misc]
-    return _batch_accumulator(source, config, index, n)
+    try:
+        return _batch_accumulator(source, config, index, n)
+    except Exception as exc:
+        return _WorkerFailure(
+            index, f"{type(exc).__name__}: {exc}", traceback.format_exc()
+        )
 
 
 def _iter_batch_accumulators(
@@ -172,16 +240,35 @@ def _iter_batch_accumulators(
     n_workers = max(1, min(int(n_workers), len(plan)))
     if n_workers == 1:
         for index, n in plan:
-            yield _batch_accumulator(source, config, index, n)
+            try:
+                yield _batch_accumulator(source, config, index, n)
+            except Exception as exc:
+                raise CampaignBatchError(
+                    index, config.label, f"{type(exc).__name__}: {exc}"
+                ) from exc
         return
+    with _campaign_pool(n_workers, source, config) as pool:
+        for shard in pool.imap(_worker_batch, plan):
+            if isinstance(shard, _WorkerFailure):
+                raise CampaignBatchError(
+                    shard.index, config.label, shard.message, shard.traceback
+                )
+            yield shard
+
+
+def _campaign_pool(
+    n_workers: int, source: TraceSource, config: CampaignConfig
+) -> "multiprocessing.pool.Pool":
+    """Worker pool primed with the campaign state.
+
+    Prefers the ``fork`` start method (no pickling of the source on
+    dispatch) and falls back to the platform default.
+    """
     try:
         ctx = multiprocessing.get_context("fork")
     except ValueError:  # pragma: no cover - non-POSIX platforms
         ctx = multiprocessing.get_context()
-    with ctx.Pool(
-        n_workers, initializer=_init_worker, initargs=(source, config)
-    ) as pool:
-        yield from pool.imap(_worker_batch, plan)
+    return ctx.Pool(n_workers, initializer=_init_worker, initargs=(source, config))
 
 
 # ----------------------------------------------------------------------

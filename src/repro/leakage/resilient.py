@@ -1,0 +1,268 @@
+"""Resilient, resumable TVLA campaigns.
+
+A multi-million-trace campaign is hours of simulation; a killed worker,
+a hung fork or a ctrl-C must cost one batch, not the campaign.  This
+module wraps the acquisition machinery of
+:mod:`repro.leakage.acquisition` with
+
+* **checkpointing** — the merged :class:`TTestAccumulator` state is
+  written to disk (atomically) every ``checkpoint_every`` batches and
+  on interruption, so a restarted run resumes from the last completed
+  batch.  Because batch ``i`` draws from ``default_rng([seed, i])`` and
+  the accumulator snapshot is exact raw sums, the resumed campaign
+  performs the *same float64 additions in the same order* as an
+  uninterrupted run: the final :class:`TvlaResult` is bitwise
+  identical, not statistically equivalent.
+* **per-batch worker timeouts + bounded retry** — in parallel mode each
+  batch result is awaited with a timeout; a hung or killed worker
+  triggers pool teardown, exponential backoff and resubmission of the
+  campaign tail (results are only merged in batch order, so nothing
+  speculative ever enters the accumulator).
+* **graceful degradation** — when the pool keeps dying
+  (``max_retries`` exhausted), the campaign falls back to in-process
+  serial execution and finishes, slower but correct.
+
+The checkpoint also stores a campaign fingerprint (trace counts, seed,
+noise, label, trace length); resuming against a different campaign is
+refused loudly instead of silently merging incompatible sums.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, Optional
+
+import numpy as np
+
+from .acquisition import (
+    CampaignBatchError,
+    CampaignConfig,
+    TraceSource,
+    _batch_accumulator,
+    _batch_plan,
+    _campaign_pool,
+    _WorkerFailure,
+    _worker_batch,
+)
+from .tvla import TTestAccumulator, TvlaResult
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "save_checkpoint",
+    "load_checkpoint",
+    "run_campaign_resilient",
+]
+
+CHECKPOINT_VERSION = 1
+
+#: Fingerprint fields that must match between a checkpoint and the
+#: campaign resuming from it.
+_FINGERPRINT_FIELDS = ("n_traces", "batch_size", "noise_sigma", "seed", "label")
+
+
+def save_checkpoint(
+    path: str,
+    acc: TTestAccumulator,
+    config: CampaignConfig,
+    next_batch: int,
+) -> None:
+    """Atomically write the campaign state after ``next_batch`` batches.
+
+    The write goes to a temporary file in the same directory followed
+    by :func:`os.replace`, so a crash mid-write leaves the previous
+    checkpoint intact (``np.savez`` is handed an open file object —
+    it must not append ``.npz`` to the final name).
+    """
+    arrays: Dict[str, np.ndarray] = dict(acc.state())
+    arrays["version"] = np.asarray(CHECKPOINT_VERSION, dtype=np.int64)
+    arrays["next_batch"] = np.asarray(int(next_batch), dtype=np.int64)
+    arrays["n_traces"] = np.asarray(config.n_traces, dtype=np.int64)
+    arrays["batch_size"] = np.asarray(config.batch_size, dtype=np.int64)
+    arrays["noise_sigma"] = np.asarray(config.noise_sigma, dtype=np.float64)
+    arrays["seed"] = np.asarray(config.seed, dtype=np.int64)
+    arrays["label"] = np.asarray(config.label)
+    tmp = f"{path}.tmp"
+    with open(tmp, "wb") as f:
+        np.savez(f, **arrays)
+    os.replace(tmp, path)
+
+
+def load_checkpoint(
+    path: str, config: CampaignConfig, n_samples: int
+) -> Optional[tuple]:
+    """Load and validate a checkpoint.
+
+    Returns:
+        ``(accumulator, next_batch)`` or ``None`` if no checkpoint
+        exists at ``path``.
+
+    Raises:
+        ValueError: The checkpoint belongs to a different campaign
+            (fingerprint mismatch) or an unknown format version.
+    """
+    if not os.path.exists(path):
+        return None
+    with np.load(path, allow_pickle=False) as z:
+        data = {k: z[k] for k in z.files}
+    version = int(data.get("version", -1))
+    if version != CHECKPOINT_VERSION:
+        raise ValueError(
+            f"checkpoint {path!r} has version {version}, expected "
+            f"{CHECKPOINT_VERSION}"
+        )
+    for name in _FINGERPRINT_FIELDS:
+        have = data[name].item()
+        want = getattr(config, name)
+        if have != want:
+            raise ValueError(
+                f"checkpoint {path!r} belongs to a different campaign: "
+                f"{name} is {have!r} in the checkpoint but {want!r} in "
+                "the config (refusing to merge incompatible sums)"
+            )
+    if int(data["n_samples"]) != int(n_samples):
+        raise ValueError(
+            f"checkpoint {path!r} has {int(data['n_samples'])} samples "
+            f"per trace but the source produces {n_samples}"
+        )
+    return TTestAccumulator.from_state(data), int(data["next_batch"])
+
+
+def run_campaign_resilient(
+    source: TraceSource,
+    config: CampaignConfig,
+    checkpoint_path: str,
+    n_workers: Optional[int] = None,
+    checkpoint_every: int = 1,
+    max_retries: int = 2,
+    worker_timeout_s: Optional[float] = None,
+    backoff_s: float = 0.5,
+    resume: bool = True,
+    cleanup: bool = True,
+) -> TvlaResult:
+    """Run a fixed-vs-random campaign with checkpointing and retries.
+
+    Produces the bitwise-identical :class:`TvlaResult` of
+    :func:`~repro.leakage.acquisition.run_campaign` for every
+    combination of worker count, interruption and resume.
+
+    Args:
+        source: Device under test.
+        config: Campaign parameters (part of the checkpoint
+            fingerprint).
+        checkpoint_path: Where the ``.npz`` accumulator state lives.
+        n_workers: Process count (``None`` = ``config.n_workers``;
+            1 = in-process serial, no pool to die).
+        checkpoint_every: Write the checkpoint every N merged batches
+            (and always on interruption; 1 = after every batch).
+        max_retries: Pool rebuilds tolerated before degrading to serial
+            execution for the rest of the campaign.
+        worker_timeout_s: Per-batch result timeout in parallel mode; a
+            batch exceeding it is treated as a hung/killed worker.
+            ``None`` waits forever (exceptions are still handled).
+        backoff_s: Base of the exponential backoff between pool
+            rebuilds (``backoff_s * 2**attempt``).
+        resume: Load an existing checkpoint (default).  ``False``
+            starts from scratch, overwriting it.
+        cleanup: Delete the checkpoint after a completed run (default);
+            keep it for post-mortems with ``False``.
+
+    Raises:
+        CampaignBatchError: A batch failed *deterministically* (the
+            source raised).  Worker kills and timeouts are retried;
+            source exceptions are not — they would fail again.
+        ValueError: Checkpoint fingerprint mismatch (see
+            :func:`load_checkpoint`).
+    """
+    if checkpoint_every < 1:
+        raise ValueError("checkpoint_every must be >= 1")
+    plan = _batch_plan(config)
+    if n_workers is None:
+        n_workers = config.n_workers
+    n_workers = max(1, min(int(n_workers), len(plan)))
+
+    acc = TTestAccumulator(source.n_samples)
+    start = 0
+    if resume:
+        loaded = load_checkpoint(checkpoint_path, config, source.n_samples)
+        if loaded is not None:
+            acc, start = loaded
+
+    i = start
+    attempts = 0
+    pool = None
+    pending: Dict[int, object] = {}
+    submitted = i
+    dirty = False  # merged batches not yet checkpointed
+
+    def teardown_pool() -> None:
+        nonlocal pool, pending, submitted
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+        pool = None
+        pending = {}
+        submitted = i
+
+    try:
+        while i < len(plan):
+            if n_workers <= 1:
+                # Serial path — also the degraded mode after retries.
+                index, n = plan[i]
+                try:
+                    shard = _batch_accumulator(source, config, index, n)
+                except Exception as exc:
+                    raise CampaignBatchError(
+                        index, config.label, f"{type(exc).__name__}: {exc}"
+                    ) from exc
+            else:
+                if pool is None:
+                    pool = _campaign_pool(n_workers, source, config)
+                    pending = {}
+                    submitted = i
+                # Keep a bounded submission window ahead of the merge
+                # cursor: enough to saturate the pool, small enough
+                # that a pool death loses little speculative work.
+                while submitted < len(plan) and submitted - i < 2 * n_workers:
+                    pending[submitted] = pool.apply_async(
+                        _worker_batch, (plan[submitted],)
+                    )
+                    submitted += 1
+                try:
+                    shard = pending.pop(i).get(timeout=worker_timeout_s)
+                except Exception:
+                    # Hung or killed worker / broken pool: tear down,
+                    # back off, rebuild and resubmit from batch i.  The
+                    # accumulator only ever holds batches < i, so the
+                    # retry is invisible in the final statistics.
+                    teardown_pool()
+                    if attempts >= max_retries:
+                        n_workers = 1  # permanent serial degradation
+                        continue
+                    time.sleep(backoff_s * (2**attempts))
+                    attempts += 1
+                    continue
+                if isinstance(shard, _WorkerFailure):
+                    raise CampaignBatchError(
+                        shard.index, config.label, shard.message, shard.traceback
+                    )
+                attempts = 0
+            acc.merge(shard)
+            i += 1
+            dirty = True
+            if (i - start) % checkpoint_every == 0:
+                save_checkpoint(checkpoint_path, acc, config, next_batch=i)
+                dirty = False
+    finally:
+        teardown_pool()
+        if dirty and i < len(plan):
+            # Interrupted (exception / ctrl-C): persist the completed
+            # prefix so the restart costs at most one batch.
+            save_checkpoint(checkpoint_path, acc, config, next_batch=i)
+
+    if cleanup:
+        if os.path.exists(checkpoint_path):
+            os.remove(checkpoint_path)
+    else:
+        save_checkpoint(checkpoint_path, acc, config, next_batch=i)
+    return acc.result(label=config.label)

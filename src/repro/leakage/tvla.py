@@ -22,7 +22,7 @@ same time indexes across tests with different fixed plaintexts*.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -156,6 +156,33 @@ class TTestAccumulator:
         self._random.n += other._random.n
         self._random.sums += other._random.sums
         return self
+
+    def state(self) -> Dict[str, np.ndarray]:
+        """Checkpointable snapshot: plain integer/float64 arrays.
+
+        The snapshot is exact (raw moment sums, no derived statistics),
+        so ``from_state(acc.state())`` reproduces the accumulator bit
+        for bit — resuming a campaign from a checkpoint and merging the
+        remaining batches in order yields the same float64 addition
+        sequence as the uninterrupted run.
+        """
+        return {
+            "n_samples": np.asarray(self.n_samples, dtype=np.int64),
+            "fixed_n": np.asarray(self._fixed.n, dtype=np.int64),
+            "fixed_sums": self._fixed.sums.copy(),
+            "random_n": np.asarray(self._random.n, dtype=np.int64),
+            "random_sums": self._random.sums.copy(),
+        }
+
+    @classmethod
+    def from_state(cls, state: "Dict[str, np.ndarray]") -> "TTestAccumulator":
+        """Rebuild an accumulator from a :meth:`state` snapshot."""
+        acc = cls(int(state["n_samples"]))
+        acc._fixed.n = int(state["fixed_n"])
+        acc._fixed.sums[:] = state["fixed_sums"]
+        acc._random.n = int(state["random_n"])
+        acc._random.sums[:] = state["random_sums"]
+        return acc
 
     def t_stats(self, order: int = 1) -> np.ndarray:
         """Per-sample t-statistic at the requested order (1, 2 or 3)."""

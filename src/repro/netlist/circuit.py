@@ -83,6 +83,7 @@ class Circuit:
         self._prefix: str = ""
         self._auto_n = 0
         self._order_cache: Optional[List[int]] = None
+        self._struct_token: Optional[Tuple[int, int, int]] = None
         #: Free-form builder annotations (e.g. the list of secAND2 core
         #: instances with their operand wires, used by the static
         #: arrival-order safety checker in repro.netlist.safety).
@@ -228,6 +229,7 @@ class Circuit:
         self._driver[output] = len(self.gates)
         self.gates.append(gate)
         self._order_cache = None
+        self._struct_token = None
         return output
 
     # -- combinational conveniences ------------------------------------
@@ -348,6 +350,52 @@ class Circuit:
             counts[g.cell.name] = counts.get(g.cell.name, 0) + 1
         return dict(sorted(counts.items()))
 
+    def copy(self) -> "Circuit":
+        """Structural copy with fresh simulator caches.
+
+        Gates are immutable and shared; the containers are copied, so
+        gate replacements on the copy (the fault transforms in
+        :mod:`repro.faults.models` work this way) never touch the
+        original.  The copy starts with no cached topological order and
+        no structural token, so compiled event schedules are never
+        shared between original and copy.
+        """
+        new = Circuit(self.name)
+        new._wire_names = list(self._wire_names)
+        new._wire_ids = dict(self._wire_ids)
+        new.gates = list(self.gates)
+        new._driver = dict(self._driver)
+        new.inputs = list(self.inputs)
+        new.outputs = dict(self.outputs)
+        new._auto_n = self._auto_n
+        new.annotations = {k: list(v) for k, v in self.annotations.items()}
+        return new
+
+    def structural_token(self) -> Tuple[int, int, int]:
+        """Identity of the circuit's structure *and* timing.
+
+        Compiled event schedules (:mod:`repro.sim.compiled`) are only
+        valid for one exact build: the same gates, the same wires, the
+        same per-instance delays.  The token therefore folds a delay
+        fingerprint in with the gate/wire counts, so two builds that
+        differ only in gate delays — e.g. a fault-perturbed copy from
+        :mod:`repro.faults.models` — never share cached schedules.
+
+        The token is cached and recomputed only after :meth:`add_gate`;
+        code that mutates ``gates`` directly (the fault transforms build
+        fresh copies instead, precisely to avoid this) must clear
+        ``_struct_token`` itself.
+        """
+        tok = self._struct_token
+        if tok is None:
+            tok = (
+                len(self.gates),
+                self.n_wires,
+                hash(tuple(g.delay_ps for g in self.gates)),
+            )
+            self._struct_token = tok
+        return tok
+
     def comb_order(self) -> List[int]:
         """Topological order of combinational gate indices.
 
@@ -383,9 +431,18 @@ class Circuit:
         self._order_cache = order
         return order
 
-    def check(self) -> None:
-        """Validate structure: no loops, no floating output/pin wires."""
-        self.comb_order()
+    def check(self, allow_loops: bool = False) -> None:
+        """Validate structure: no loops, no floating output/pin wires.
+
+        Args:
+            allow_loops: Skip the combinational-loop check.  The
+                event-driven simulators can run looped circuits (ring
+                oscillators, latch structures) until the event budget is
+                exhausted; only zero-delay functional evaluation needs a
+                topological order.
+        """
+        if not allow_loops:
+            self.comb_order()
         driven = set(self._driver) | set(self.inputs)
         for g in self.gates:
             for w in g.inputs:

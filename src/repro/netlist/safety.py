@@ -17,12 +17,19 @@ violations at a 1-LUT DelayUnit, none at 10 LUTs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from .circuit import Circuit
 from .timing import arrival_times
 
-__all__ = ["OrderingViolation", "check_secand2_ordering", "count_violations"]
+__all__ = [
+    "OrderingViolation",
+    "OrderingMargin",
+    "check_secand2_ordering",
+    "count_violations",
+    "ordering_margins",
+    "min_ordering_margin",
+]
 
 
 @dataclass(frozen=True)
@@ -44,8 +51,9 @@ class OrderingViolation:
 
     def __str__(self) -> str:
         return (
-            f"{self.gadget}: {self.kind} (margin {self.margin_ps} ps; "
-            f"x0@{self.at_x0} x1@{self.at_x1} y0@{self.at_y0} y1@{self.at_y1})"
+            f"{self.gadget}: {self.kind} (margin {self.margin_ps:g} ps; "
+            f"x0@{self.at_x0:g} x1@{self.at_x1:g} "
+            f"y0@{self.at_y0:g} y1@{self.at_y1:g})"
         )
 
 
@@ -104,3 +112,72 @@ def count_violations(circuit: Circuit, min_margin_ps: int = 0) -> Dict[str, int]
     for v in check_secand2_ordering(circuit, min_margin_ps=min_margin_ps):
         out[v.kind] += 1
     return out
+
+
+@dataclass(frozen=True)
+class OrderingMargin:
+    """Arrival-order slack of one secAND2 core (positive = safe).
+
+    ``y1_margin_ps`` is how much later ``y1`` arrives than the last
+    ``x`` share (the Table I security condition); ``y0_margin_ps`` is
+    how much earlier ``y0`` arrives than the first ``x`` share (the
+    back-to-back-evaluation condition of the PD style).
+    """
+
+    gadget: str
+    y1_margin_ps: float
+    y0_margin_ps: float
+    at_x0: float
+    at_x1: float
+    at_y0: float
+    at_y1: float
+
+    @property
+    def worst_ps(self) -> float:
+        return min(self.y1_margin_ps, self.y0_margin_ps)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.gadget}: y1 margin {self.y1_margin_ps:.0f} ps, "
+            f"y0 margin {self.y0_margin_ps:.0f} ps "
+            f"(x0@{self.at_x0:.0f} x1@{self.at_x1:.0f} "
+            f"y0@{self.at_y0:.0f} y1@{self.at_y1:.0f})"
+        )
+
+
+def ordering_margins(circuit: Circuit) -> List[OrderingMargin]:
+    """Per-gadget arrival-order slack (what the fault sweep erodes).
+
+    Where :func:`check_secand2_ordering` answers "is it broken", this
+    reports *how far from broken* every core is — the quantity a delay
+    perturbation eats into, gadget by gadget.
+    """
+    gadgets = circuit.annotations.get("secand2", [])
+    at = arrival_times(circuit)
+    out: List[OrderingMargin] = []
+    for g in gadgets:
+        ax0 = at.get(g["x0"], 0)
+        ax1 = at.get(g["x1"], 0)
+        ay0 = at.get(g["y0"], 0)
+        ay1 = at.get(g["y1"], 0)
+        out.append(
+            OrderingMargin(
+                gadget=g["tag"],
+                y1_margin_ps=ay1 - max(ax0, ax1),
+                y0_margin_ps=min(ax0, ax1) - ay0,
+                at_x0=ax0,
+                at_x1=ax1,
+                at_y0=ay0,
+                at_y1=ay1,
+            )
+        )
+    return out
+
+
+def min_ordering_margin(circuit: Circuit) -> Optional[OrderingMargin]:
+    """The gadget with the smallest worst-case margin (None if no
+    secAND2 annotations are present)."""
+    margins = ordering_margins(circuit)
+    if not margins:
+        return None
+    return min(margins, key=lambda m: m.worst_ps)

@@ -45,6 +45,12 @@ class ClockedHarness:
         period_ps: Clock period; transitions later than this within a
             cycle raise :class:`TimingViolation` when ``check_timing``.
         check_timing: Enforce the period (default True).
+        period_schedule: Optional per-cycle clock periods (ps) — cycle
+            ``i`` lasts ``period_schedule[i]``, modelling clock jitter
+            (see :func:`repro.faults.models.clock_jitter_periods`).
+            Cycles beyond the schedule fall back to ``period_ps``.
+            Event times stay relative to each cycle's own edge; the
+            absolute power-trace offset accumulates the actual periods.
         compile_schedules: Record each cycle's event schedule on first
             use and replay it for subsequent batches (default True; see
             :mod:`repro.sim.compiled`).  Cycles driven with the same
@@ -60,13 +66,22 @@ class ClockedHarness:
         period_ps: int,
         check_timing: bool = True,
         compile_schedules: bool = True,
+        period_schedule: Optional[Sequence[int]] = None,
     ):
         self.sim = VectorSimulator(
             circuit, n_traces, compile_schedules=compile_schedules
         )
         self.period_ps = period_ps
+        self.period_schedule = (
+            None if period_schedule is None else [int(p) for p in period_schedule]
+        )
+        if self.period_schedule is not None and any(
+            p <= 0 for p in self.period_schedule
+        ):
+            raise ValueError("period_schedule entries must be positive")
         self.check_timing = check_timing
         self.cycle = 0
+        self._t_offset_ps = 0
         self._ffs: List[Gate] = circuit.ff_gates()
         self._ff_index = {g.name: i for i, g in enumerate(self._ffs)}
         self._ff_q = np.zeros((len(self._ffs), n_traces), dtype=bool)
@@ -90,7 +105,16 @@ class ClockedHarness:
 
     def total_time_ps(self, n_cycles: int) -> int:
         """Trace length for a :class:`PowerRecorder` covering n cycles."""
-        return n_cycles * self.period_ps
+        if self.period_schedule is None:
+            return n_cycles * self.period_ps
+        sched = self.period_schedule[:n_cycles]
+        return sum(sched) + max(0, n_cycles - len(sched)) * self.period_ps
+
+    def cycle_period_ps(self, cycle: int) -> int:
+        """Actual period of the given cycle (schedule-aware)."""
+        if self.period_schedule is not None and cycle < len(self.period_schedule):
+            return self.period_schedule[cycle]
+        return self.period_ps
 
     # ------------------------------------------------------------------
     def reset(self) -> None:
@@ -98,6 +122,7 @@ class ClockedHarness:
         self.sim.reset_state(False)
         self._ff_q[:] = False
         self.cycle = 0
+        self._t_offset_ps = 0
 
     def force_ffs(self, value: bool = False) -> None:
         """Synchronously force every FF's stored state (no events)."""
@@ -170,15 +195,18 @@ class ClockedHarness:
         """
         events = self._sample_ffs(reset=reset_ffs, reset_groups=reset_groups)
         events.extend(input_events)
-        t_offset = self.cycle * self.period_ps
-        settle = self.sim.settle(events, recorder=recorder, t_offset=t_offset)
+        period = self.cycle_period_ps(self.cycle)
+        settle = self.sim.settle(
+            events, recorder=recorder, t_offset=self._t_offset_ps
+        )
         self.last_settle_ps = settle
-        if self.check_timing and settle >= self.period_ps:
+        if self.check_timing and settle >= period:
             raise TimingViolation(
                 f"cycle {self.cycle}: logic settled at {settle} ps "
-                f">= period {self.period_ps} ps"
+                f">= period {period} ps"
             )
         self.cycle += 1
+        self._t_offset_ps += period
 
     def run(
         self,

@@ -39,11 +39,13 @@ Cache invalidation
 ------------------
 Compiled programs are cached per circuit, keyed by the input-event
 timing pattern ``((t0, wire0), (t1, wire1), ...)``.  The cache is
-dropped whenever the circuit's structure changes (gate or wire count —
-circuits are append-only, so counts identify a build) and is bounded
-LRU; per-instance routing jitter is baked into the gate delays at build
-time, so a compiled schedule stays valid for the lifetime of a build,
-exactly like a placed-and-routed bitstream.
+dropped whenever the circuit's structural token changes
+(:meth:`Circuit.structural_token` — gate count, wire count *and* a
+per-gate delay fingerprint) and is bounded LRU.  Per-instance routing
+jitter is baked into the gate delays at build time, so a compiled
+schedule stays valid for the lifetime of a build, exactly like a
+placed-and-routed bitstream; a delay edit (a fault-perturbed copy from
+:mod:`repro.faults`) changes the token and starts from an empty cache.
 """
 
 from __future__ import annotations
@@ -255,9 +257,16 @@ def compile_schedule(
 # ----------------------------------------------------------------------
 # per-circuit cache
 # ----------------------------------------------------------------------
+def _structural_token(circuit):
+    token = getattr(circuit, "structural_token", None)
+    if token is not None:
+        return token()
+    return (len(circuit.gates), circuit.n_wires)  # pragma: no cover
+
+
 def _cache_for(circuit) -> "OrderedDict":
     """The circuit's schedule cache, invalidated on structural change."""
-    token = (len(circuit.gates), circuit.n_wires)
+    token = _structural_token(circuit)
     cache = getattr(circuit, "_compiled_schedule_cache", None)
     if cache is None or cache[0] != token:
         cache = (token, OrderedDict())
@@ -293,7 +302,7 @@ def schedule_cache_info(circuit) -> Dict[str, int]:
     empty (it will be dropped on the next lookup).
     """
     cache = getattr(circuit, "_compiled_schedule_cache", None)
-    if cache is None or cache[0] != (len(circuit.gates), circuit.n_wires):
+    if cache is None or cache[0] != _structural_token(circuit):
         return {"patterns": 0, "compiled": 0}
     programs = cache[1]
     return {
@@ -312,7 +321,7 @@ def replay(
     recorder,
     t_offset: float,
     max_events: int,
-    circuit_name: str = "",
+    circuit=None,
 ) -> Tuple[float, int]:
     """Execute a compiled program over ``(n_wires, n_traces)`` state.
 
@@ -328,11 +337,13 @@ def replay(
         t_offset: Absolute time of this call's t=0.
         max_events: Gate-evaluation budget (same semantics as the
             interpreter's).
+        circuit: The owning circuit, used only for diagnostics (name
+            and oscillating-wire names in budget errors).
 
     Returns:
         ``(settle_time, n_gate_evaluations)``.
     """
-    from .vectorsim import SimulationError
+    from .vectorsim import budget_error
 
     n = values.shape[1] if values.ndim == 2 else 0
     slot_values = np.empty((max(1, schedule.n_slots), n), dtype=bool)
@@ -395,10 +406,7 @@ def replay(
                 cnt = len(out_slots)
                 budget -= cnt
                 if budget < 0:
-                    raise SimulationError(
-                        f"event budget exhausted at t={step.t} "
-                        f"(oscillation in {circuit_name!r}?)"
-                    )
+                    raise budget_error(circuit, step.t, max_events, wires)
                 processed += cnt
                 iw = grp.in_wires
                 if len(iw) == 2:
@@ -457,10 +465,7 @@ def replay(
                 continue
             budget -= cnt
             if budget < 0:
-                raise SimulationError(
-                    f"event budget exhausted at t={step.t} "
-                    f"(oscillation in {circuit_name!r}?)"
-                )
+                raise budget_error(circuit, step.t, max_events, wires)
             processed += cnt
             iw = grp.in_wires
             if len(iw) == 2:

@@ -46,7 +46,7 @@ from ..netlist.circuit import Circuit
 from .compiled import lookup_or_compile, replay
 from .power import PowerRecorder, default_weights
 
-__all__ = ["VectorSimulator", "InputEvent", "SimulationError"]
+__all__ = ["VectorSimulator", "InputEvent", "SimulationError", "budget_error"]
 
 #: (time_ps, wire_id, new_values) — new_values is a (n_traces,) bool array
 #: or a scalar bool broadcast to all traces.
@@ -54,7 +54,49 @@ InputEvent = Tuple[int, int, "np.ndarray | bool"]
 
 
 class SimulationError(RuntimeError):
-    """Raised when the event budget is exhausted (oscillating circuit)."""
+    """Raised when the event budget is exhausted (oscillating circuit).
+
+    Attributes:
+        time_ps: Simulation instant at which the budget ran out.
+        budget: The exhausted event budget (``max_events``).
+        wires: Names of the wires switching at that instant — for a
+            genuine oscillation these are the wires of the loop.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        time_ps: "float | None" = None,
+        budget: Optional[int] = None,
+        wires: Sequence[str] = (),
+    ):
+        super().__init__(message)
+        self.time_ps = time_ps
+        self.budget = budget
+        self.wires = tuple(wires)
+
+
+def budget_error(circuit, t, max_events: int, wires) -> SimulationError:
+    """Build the budget-exhaustion error for both simulation engines.
+
+    ``wires`` are the wire ids updating at instant ``t``; their names
+    identify the oscillating region of the circuit.
+    """
+    if circuit is not None:
+        name = circuit.name
+        names = [circuit.wire_name(int(w)) for w in list(wires)[:8]]
+    else:  # pragma: no cover - diagnostics without a circuit handle
+        name = ""
+        names = []
+    suffix = " ..." if len(wires) > 8 else ""
+    return SimulationError(
+        f"event budget of {max_events} exhausted at t={t} in {name!r}; "
+        f"oscillating wires: {', '.join(names) or '?'}{suffix}",
+        time_ps=t,
+        budget=max_events,
+        wires=names,
+    )
 
 
 class VectorSimulator:
@@ -67,9 +109,19 @@ class VectorSimulator:
     """
 
     def __init__(
-        self, circuit: Circuit, n_traces: int, compile_schedules: bool = True
+        self,
+        circuit: Circuit,
+        n_traces: int,
+        compile_schedules: bool = True,
+        allow_loops: bool = False,
     ):
-        circuit.check()
+        """``allow_loops=True`` admits circuits with combinational
+        feedback (ring oscillators, latches): the event-driven
+        :meth:`settle` simulates them faithfully until the event budget
+        cuts a genuine oscillation off with a :class:`SimulationError`.
+        Zero-delay :meth:`evaluate_combinational` still needs a
+        topological order and keeps rejecting loops."""
+        circuit.check(allow_loops=allow_loops)
         self.circuit = circuit
         self.n_traces = n_traces
         self.compile_schedules = compile_schedules
@@ -146,7 +198,7 @@ class VectorSimulator:
                     recorder,
                     t_offset,
                     max_events,
-                    self.circuit.name,
+                    self.circuit,
                 )
                 self.events_processed += n_evals
                 return last_t
@@ -190,9 +242,8 @@ class VectorSimulator:
             for gi in dict.fromkeys(affected):
                 budget -= 1
                 if budget < 0:
-                    raise SimulationError(
-                        f"event budget exhausted at t={t} "
-                        f"(oscillation in {self.circuit.name!r}?)"
+                    raise budget_error(
+                        self.circuit, t, max_events, list(updates)
                     )
                 self.events_processed += 1
                 g = gates[gi]

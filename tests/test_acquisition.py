@@ -4,11 +4,21 @@ import numpy as np
 import pytest
 
 from repro.leakage.acquisition import (
+    CampaignBatchError,
     CampaignConfig,
     detect_leakage_traces,
     run_campaign,
     run_multi_fixed,
 )
+
+
+class CrashySource:
+    """Source whose acquire always raises (picklable, for pool tests)."""
+
+    n_samples = 8
+
+    def acquire(self, fixed_mask, rng):
+        raise RuntimeError("injected fault")
 
 
 class SyntheticSource:
@@ -101,6 +111,49 @@ def test_multi_fixed_runs_requested_tests():
     assert all(r.leaks(1) for r in results)
     # seeds differ across the tests
     assert len({r.label for r in results}) == 3
+
+
+# ----------------------------------------------------------------------
+# config validation and batch-failure context
+# ----------------------------------------------------------------------
+def test_config_rejects_nonpositive_trace_count():
+    with pytest.raises(ValueError, match="n_traces"):
+        CampaignConfig(n_traces=0)
+    with pytest.raises(ValueError, match="n_traces"):
+        CampaignConfig(n_traces=-100)
+
+
+def test_config_rejects_nonpositive_batch_size():
+    with pytest.raises(ValueError, match="batch_size"):
+        CampaignConfig(batch_size=0)
+
+
+def test_config_rejects_negative_noise():
+    with pytest.raises(ValueError, match="noise_sigma"):
+        CampaignConfig(noise_sigma=-0.1)
+
+
+def test_serial_batch_error_carries_context():
+    cfg = CampaignConfig(n_traces=2000, batch_size=1000, seed=1, label="ctx")
+    with pytest.raises(CampaignBatchError) as ei:
+        run_campaign(CrashySource(), cfg)
+    err = ei.value
+    assert err.batch_index == 0
+    assert err.label == "ctx"
+    assert "batch 0" in str(err) and "'ctx'" in str(err)
+    assert "injected fault" in str(err)
+    assert isinstance(err.__cause__, RuntimeError)
+
+
+def test_pool_batch_error_carries_context_and_traceback():
+    cfg = CampaignConfig(n_traces=2000, batch_size=1000, seed=1, label="pool")
+    with pytest.raises(CampaignBatchError) as ei:
+        run_campaign(CrashySource(), cfg, n_workers=2)
+    err = ei.value
+    assert err.batch_index == 0
+    assert err.label == "pool"
+    assert "injected fault" in err.worker_traceback
+    assert "worker traceback" in str(err)
 
 
 # ----------------------------------------------------------------------

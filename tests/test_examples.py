@@ -62,6 +62,15 @@ def test_reproduce_paper_argparse():
 
 
 @pytest.mark.slow
+def test_fault_margin_sweep_example(capsys):
+    out = run_example("fault_margin_sweep.py", capsys)
+    assert "first violated constraint" in out
+    assert "monotone erosion: True" in out
+    assert "clean at sigma 0: True" in out
+    assert "bitwise-identical to uninterrupted run: True" in out
+
+
+@pytest.mark.slow
 def test_masked_present_example(capsys):
     out = run_example("masked_present.py", capsys)
     assert "masked == reference on 16 random blocks: True" in out

@@ -1,0 +1,381 @@
+"""Tests for the seeded fault-injection subsystem (repro.faults)."""
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    PDBankSource,
+    build_pd_bank,
+    clock_jitter_periods,
+    delay_unit_vector,
+    delay_variation,
+    glitch_events,
+    margin_erosion_sweep,
+    shift_gate_delay,
+    stuck_at,
+    transient_glitch,
+)
+from repro.netlist.circuit import Circuit
+from repro.netlist.safety import check_secand2_ordering, min_ordering_margin
+from repro.netlist.timing import arrival_times
+from repro.sim.clocking import ClockedHarness, TimingViolation
+from repro.sim.compiled import schedule_cache_info
+from repro.sim.power import PowerRecorder
+from repro.sim.vectorsim import VectorSimulator
+
+INPUTS = ("x0", "x1", "y0", "y1")
+
+
+def share_events(c, value=True):
+    return [(0, c.wire(name), value) for name in INPUTS]
+
+
+# ----------------------------------------------------------------------
+# delay variation
+# ----------------------------------------------------------------------
+def test_delay_variation_is_deterministic():
+    bank = build_pd_bank(n_instances=2)
+    a = delay_variation(bank, 100.0, seed=5)
+    b = delay_variation(bank, 100.0, seed=5)
+    other = delay_variation(bank, 100.0, seed=6)
+    assert [g.delay_ps for g in a.gates] == [g.delay_ps for g in b.gates]
+    assert [g.delay_ps for g in a.gates] != [g.delay_ps for g in other.gates]
+
+
+def test_delay_variation_leaves_original_untouched():
+    bank = build_pd_bank(n_instances=2)
+    before = [g.delay_ps for g in bank.gates]
+    perturbed = delay_variation(bank, 400.0, seed=1)
+    assert [g.delay_ps for g in bank.gates] == before
+    assert [g.delay_ps for g in perturbed.gates] != before
+    # the copy shares no gate list with the original
+    assert perturbed.gates is not bank.gates
+
+
+def test_delay_variation_common_random_numbers():
+    """Same seed at every sigma -> perturbation scales linearly."""
+    bank = build_pd_bank(n_instances=2)
+    base = np.array([g.delay_ps for g in bank.gates])
+    d100 = np.array(
+        [g.delay_ps for g in delay_variation(bank, 100.0, seed=3).gates]
+    )
+    d200 = np.array(
+        [g.delay_ps for g in delay_variation(bank, 200.0, seed=3).gates]
+    )
+    unclamped = (d100 > 1.0) & (d200 > 1.0)
+    assert unclamped.any()
+    assert np.allclose((d200 - base)[unclamped], 2 * (d100 - base)[unclamped])
+
+
+def test_delay_variation_uniform_is_bounded_and_floored():
+    bank = build_pd_bank(n_instances=2)
+    base = np.array([g.delay_ps for g in bank.gates])
+    pert = np.array(
+        [
+            g.delay_ps
+            for g in delay_variation(
+                bank, 50.0, seed=2, distribution="uniform"
+            ).gates
+        ]
+    )
+    assert np.all(np.abs(pert - base) <= 50.0 + 1e-9)
+    # a huge sigma never drives a delay below the floor
+    huge = delay_variation(bank, 1e6, seed=2, min_delay_ps=7.0)
+    assert all(g.delay_ps >= 7.0 for g in huge.gates)
+
+
+def test_delay_variation_cell_filter_and_ff_exclusion():
+    c = Circuit()
+    a, b = c.add_inputs("a", "b")
+    z = c.and2(a, b)
+    d = c.delay_line(z, 2, 2, name="dl")
+    c.dff(d, name="ff")
+    pert = delay_variation(c, 500.0, seed=9, cells=("DELAY",))
+    for old, new in zip(c.gates, pert.gates):
+        if old.cell.name == "DELAY":
+            assert new.delay_ps != old.delay_ps
+        else:
+            assert new.delay_ps == old.delay_ps
+    # FFs are never perturbed even without a filter
+    pert_all = delay_variation(c, 500.0, seed=9)
+    assert [g.delay_ps for g in pert_all.gates if g.is_ff] == [
+        g.delay_ps for g in c.gates if g.is_ff
+    ]
+
+
+def test_delay_variation_sigma_zero_is_identity_copy():
+    bank = build_pd_bank(n_instances=1)
+    copy = delay_variation(bank, 0.0, seed=4)
+    assert copy is not bank
+    assert [g.delay_ps for g in copy.gates] == [g.delay_ps for g in bank.gates]
+    assert copy.structural_token() == bank.structural_token()
+
+
+def test_delay_variation_rejects_negative_sigma_and_bad_distribution():
+    bank = build_pd_bank(n_instances=1)
+    with pytest.raises(ValueError):
+        delay_variation(bank, -1.0)
+    with pytest.raises(ValueError, match="distribution"):
+        delay_unit_vector(bank, distribution="cauchy")
+
+
+def test_shift_gate_delay_targets_one_gate():
+    bank = build_pd_bank(n_instances=2)
+    shifted = shift_gate_delay(bank, "i1_dl_y1", -300.0)
+    diffs = [
+        (old.name, new.delay_ps - old.delay_ps)
+        for old, new in zip(bank.gates, shifted.gates)
+        if new.delay_ps != old.delay_ps
+    ]
+    assert diffs == [("i1_dl_y1", -300.0)]
+    with pytest.raises(ValueError, match="no gate named"):
+        shift_gate_delay(bank, "nonexistent", 10.0)
+
+
+def test_shift_gate_delay_rejects_ffs():
+    c = Circuit()
+    a = c.add_input("a")
+    c.dff(a, name="ff")
+    with pytest.raises(ValueError, match="sequential"):
+        shift_gate_delay(c, "ff", 100.0)
+
+
+# ----------------------------------------------------------------------
+# compiled-schedule cache invalidation (the contract the fault models
+# rely on: a perturbed copy must never replay the original's schedule)
+# ----------------------------------------------------------------------
+def test_delay_edits_invalidate_cached_schedules():
+    bank = build_pd_bank(n_instances=1)
+    sim = VectorSimulator(bank, 2)
+    sim.evaluate_combinational({bank.wire(n): False for n in INPUTS})
+    t_orig = sim.settle(share_events(bank))
+    assert schedule_cache_info(bank)["patterns"] >= 1
+
+    shifted = shift_gate_delay(bank, "i0_dl_y1", +333.0)
+    # different delay fingerprint -> different structural token -> the
+    # copy starts with an empty cache instead of inheriting a schedule
+    # compiled for the old delays
+    assert shifted.structural_token() != bank.structural_token()
+    assert schedule_cache_info(shifted) == {"patterns": 0, "compiled": 0}
+
+    sim2 = VectorSimulator(shifted, 2)
+    sim2.evaluate_combinational({shifted.wire(n): False for n in INPUTS})
+    t_shift = sim2.settle(share_events(shifted))
+    # the y1 path is the slowest; its events land exactly 333 ps later
+    assert t_shift == t_orig + 333.0
+    # the original's cache is still valid for the original
+    assert schedule_cache_info(bank)["patterns"] >= 1
+
+
+# ----------------------------------------------------------------------
+# stuck-at defects
+# ----------------------------------------------------------------------
+def test_stuck_at_forces_constant_output():
+    for value in (False, True):
+        c = Circuit()
+        a, b = c.add_inputs("a", "b")
+        z = c.and2(a, b)
+        c.mark_output("z", z)
+        faulty = stuck_at(c, z, value)
+        av = np.array([0, 0, 1, 1], bool)
+        bv = np.array([0, 1, 0, 1], bool)
+        sim = VectorSimulator(faulty, 4)
+        sim.evaluate_combinational({a: av, b: bv})
+        assert np.all(sim.values[z] == value)
+        # the original still computes the AND
+        ref = VectorSimulator(c, 4)
+        ref.evaluate_combinational({a: av, b: bv})
+        assert np.array_equal(ref.values[z], av & bv)
+
+
+def test_stuck_wire_contributes_no_switching_power():
+    c = Circuit()
+    a, b = c.add_inputs("a", "b")
+    z = c.and2(a, b)
+    c.mark_output("z", z)
+    faulty = stuck_at(c, z, False)
+    sim = VectorSimulator(faulty, 1)
+    sim.evaluate_combinational({a: False, b: False})
+    rec = PowerRecorder(1, 1000, bin_ps=250, weights=sim.weights)
+    sim.settle([(0, a, True), (0, b, True)], recorder=rec)
+    assert not sim.values[z][0]
+
+
+def test_stuck_at_rejects_inputs_and_ff_outputs():
+    c = Circuit()
+    a = c.add_input("a")
+    q = c.dff(a, name="ff")
+    c.inv(q)
+    with pytest.raises(ValueError, match="no driving gate"):
+        stuck_at(c, a, True)
+    with pytest.raises(ValueError, match="FF output"):
+        stuck_at(c, q, True)
+    with pytest.raises(ValueError, match="does not exist"):
+        stuck_at(c, 10_000, True)
+
+
+# ----------------------------------------------------------------------
+# transient glitch pulses
+# ----------------------------------------------------------------------
+def glitch_fixture():
+    c = Circuit()
+    a, b = c.add_inputs("a", "b")
+    z = c.xor2(c.and2(a, b), c.or2(a, b))
+    c.mark_output("z", z)
+    return c, a, b, z
+
+
+def test_transient_glitch_transparent_without_pulse():
+    c, a, b, z = glitch_fixture()
+    glitched, pulse = transient_glitch(c, z)
+    for av, bv in ((False, True), (True, True)):
+        ref = VectorSimulator(c, 1)
+        ref.settle([(0, a, av), (0, b, bv)])
+        sim = VectorSimulator(glitched, 1)
+        sim.settle([(0, a, av), (0, b, bv)])
+        assert sim.output_values()["z"][0] == ref.output_values()["z"][0]
+
+
+def test_transient_glitch_inverts_wire_during_window():
+    c, a, b, z = glitch_fixture()
+    glitched, pulse = transient_glitch(c, z, tag="set")
+    # rise without fall: the output stays inverted
+    sim = VectorSimulator(glitched, 1)
+    sim.settle([(0, a, True), (0, b, True)] + [(500, pulse, True)])
+    ref = VectorSimulator(c, 1)
+    ref.settle([(0, a, True), (0, b, True)])
+    assert sim.output_values()["z"][0] != ref.output_values()["z"][0]
+    # a bounded pulse restores the original value after the window
+    sim2 = VectorSimulator(glitched, 1)
+    sim2.settle(
+        [(0, a, True), (0, b, True)] + glitch_events(pulse, 500, 200)
+    )
+    assert sim2.output_values()["z"][0] == ref.output_values()["z"][0]
+
+
+def test_glitch_events_mask_selects_traces():
+    c, a, b, z = glitch_fixture()
+    glitched, pulse = transient_glitch(c, z)
+    mask = np.array([True, False])
+    events = glitch_events(pulse, 500, 200, mask=mask)
+    sim = VectorSimulator(glitched, 2)
+    rec = PowerRecorder(2, 2000, bin_ps=250, weights=sim.weights)
+    sim.settle([(0, a, True), (0, b, True)] + events, recorder=rec)
+    # only the masked trace sees the pulse's extra toggles
+    assert rec.power[0].sum() > rec.power[1].sum()
+    with pytest.raises(ValueError, match="width_ps"):
+        glitch_events(pulse, 0, 0)
+
+
+# ----------------------------------------------------------------------
+# clock jitter
+# ----------------------------------------------------------------------
+def test_clock_jitter_periods_deterministic_and_clamped():
+    p1 = clock_jitter_periods(500, 20, 100.0, seed=3)
+    p2 = clock_jitter_periods(500, 20, 100.0, seed=3)
+    assert p1 == p2
+    assert len(p1) == 20
+    assert p1 != clock_jitter_periods(500, 20, 100.0, seed=4)
+    assert clock_jitter_periods(500, 8, 0.0, seed=3) == [500] * 8
+    assert all(
+        p >= 50 for p in clock_jitter_periods(100, 50, 10_000.0, seed=0,
+                                              min_period_ps=50)
+    )
+
+
+def test_harness_period_schedule_accumulates():
+    c = Circuit()
+    a = c.add_input("a")
+    w = c.dff(a, name="ff0")
+    c.mark_output("q", c.dff(w, name="ff1"))
+    periods = [500, 700, 600]
+    h = ClockedHarness(c, 1, period_ps=500, period_schedule=periods)
+    assert h.total_time_ps(3) == 1800
+    assert h.total_time_ps(4) == 2300  # falls back to period_ps
+    assert h.cycle_period_ps(1) == 700
+    h.run([[(0, a, True)], [], []])
+    assert h.output_values()["q"][0]  # functionally unchanged by jitter
+    h.reset()
+    assert h.cycle == 0
+
+
+def test_jittered_short_cycle_raises_timing_violation():
+    c = Circuit()
+    a = c.add_input("a")
+    w = a
+    for _ in range(10):
+        w = c.buf(w)  # 240 ps settle path
+    c.dff(w)
+    periods = [1000, 100]
+    h = ClockedHarness(
+        c, 1, period_ps=1000, period_schedule=periods, check_timing=True
+    )
+    h.step([(0, a, True)])  # cycle 0: plenty of slack
+    with pytest.raises(TimingViolation, match="cycle 1"):
+        h.step([(0, a, False)])  # cycle 1: 100 ps < 240 ps settle
+
+
+def test_period_schedule_rejects_nonpositive_entries():
+    c = Circuit()
+    a = c.add_input("a")
+    c.dff(a)
+    with pytest.raises(ValueError, match="positive"):
+        ClockedHarness(c, 1, period_ps=500, period_schedule=[500, 0])
+
+
+# ----------------------------------------------------------------------
+# margin-erosion sweep
+# ----------------------------------------------------------------------
+def test_pd_bank_source_shapes_and_determinism():
+    bank = build_pd_bank(n_instances=2)
+    src = PDBankSource(bank)
+    assert src.n_samples > 0
+    mask = np.array([True, False, True, False])
+    a = src.acquire(mask, np.random.default_rng(1))
+    b = src.acquire(mask, np.random.default_rng(1))
+    assert a.shape == (4, src.n_samples)
+    assert np.array_equal(a, b)
+
+
+def test_static_sweep_monotone_erosion():
+    """Common random numbers make the smallest margin erode linearly."""
+    res = margin_erosion_sweep(
+        sigmas=(0, 100, 200, 300, 400, 500, 600),
+        n_instances=8,
+        fault_seed=1,
+        n_traces=0,  # static margins only
+    )
+    assert res.nominal_margin_ps == 500.0
+    assert res.clean_at_zero
+    assert res.monotone_erosion
+    assert res.onset_sigma_ps is not None
+    v = res.first_violation
+    assert v is not None and v.kind == "y1-not-last"
+    out = res.render()
+    assert "first violated constraint" in out
+    assert v.gadget in out
+
+
+@pytest.mark.slow
+def test_margin_erosion_sweep_acceptance():
+    """The PR acceptance criterion: sigma 0 is TVLA-clean, sigmas past
+    the nominal margin leak, and the report names the collapsed
+    constraint."""
+    res = margin_erosion_sweep(
+        sigmas=(0, 150, 300, 450, 600),
+        n_instances=8,
+        fault_seed=1,
+        n_traces=4000,
+        batch_size=2000,
+        noise_sigma=1.0,
+        seed=3,
+    )
+    assert res.clean_at_zero  # max|t| < 4.5 at sigma 0
+    assert res.monotone_erosion
+    for p in res.points:
+        if p.sigma_ps >= res.nominal_margin_ps:
+            assert not p.statically_safe
+            assert p.leaks
+    v = res.first_violation
+    assert v is not None and v.kind == "y1-not-last"
+    assert v.gadget in res.render()

@@ -3,11 +3,14 @@
 import pytest
 
 from repro.core.gadgets import SharePair, secand2, secand2_pd
+from repro.faults import build_pd_bank, delay_variation, shift_gate_delay
 from repro.netlist.circuit import Circuit
 from repro.netlist.safety import (
     OrderingViolation,
     check_secand2_ordering,
     count_violations,
+    min_ordering_margin,
+    ordering_margins,
 )
 
 
@@ -82,6 +85,75 @@ def test_circuit_without_annotations_is_trivially_safe():
     a, b = c.add_inputs("a", "b")
     c.and2(a, b)
     assert check_secand2_ordering(c) == []
+
+
+# ----------------------------------------------------------------------
+# ordering margins and properties under randomized per-gate delays
+# ----------------------------------------------------------------------
+def test_ordering_margins_report_slack():
+    bank = build_pd_bank(n_instances=3, n_luts=2)  # x@500, y1@1000 ps
+    margins = ordering_margins(bank)
+    assert len(margins) == 3
+    for m in margins:
+        assert m.y1_margin_ps == 500.0
+        assert m.y0_margin_ps == 500.0
+        assert m.worst_ps == 500.0
+    worst = min_ordering_margin(bank)
+    assert worst is not None and worst.worst_ps == 500.0
+    assert "y1 margin" in str(worst)
+
+
+def test_min_ordering_margin_none_without_annotations():
+    c = Circuit()
+    a, b = c.add_inputs("a", "b")
+    c.and2(a, b)
+    assert min_ordering_margin(c) is None
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_perturbation_below_margin_never_flags(seed):
+    """Property: bounded delay variation strictly smaller than the
+    margin can never produce an ordering violation.  Uniform draws move
+    every arrival by at most sigma, so each margin shrinks by at most
+    2*sigma = 400 < 500 ps."""
+    bank = build_pd_bank(n_instances=4, n_luts=2)
+    perturbed = delay_variation(
+        bank, 200.0, seed=seed, distribution="uniform"
+    )
+    assert check_secand2_ordering(perturbed) == []
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_perturbation_past_margin_always_flags(seed):
+    """Property: a targeted shift that eats the whole margin plus the
+    worst-case variation is flagged for every randomization."""
+    bank = build_pd_bank(n_instances=4, n_luts=2)
+    jittered = delay_variation(
+        bank, 100.0, seed=seed, distribution="uniform"
+    )
+    # y1 margin of i0 becomes <= 500 - 800 + 2*100 < 0
+    broken = shift_gate_delay(jittered, "i0_dl_y1", -800.0)
+    v = check_secand2_ordering(broken)
+    assert any(x.gadget == "i0" and x.kind == "y1-not-last" for x in v)
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_checker_agrees_with_margins_under_random_delays(seed):
+    """The boolean checker and the quantitative margins must agree on
+    every gadget: y1 flags iff y1 margin < 1 ps, y0 flags iff y0 margin
+    is negative."""
+    bank = build_pd_bank(n_instances=6, n_luts=2)
+    perturbed = delay_variation(bank, 300.0, seed=seed)
+    margins = {m.gadget: m for m in ordering_margins(perturbed)}
+    violations = check_secand2_ordering(perturbed)
+    y1_flagged = {v.gadget for v in violations if v.kind == "y1-not-last"}
+    y0_flagged = {v.gadget for v in violations if v.kind == "y0-not-first"}
+    assert y1_flagged == {
+        g for g, m in margins.items() if m.y1_margin_ps < 1
+    }
+    assert y0_flagged == {
+        g for g, m in margins.items() if m.y0_margin_ps < 0
+    }
 
 
 def test_pd_gadget_with_enough_luts_safe_under_jitter():

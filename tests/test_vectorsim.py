@@ -4,7 +4,7 @@ scalar/vector cross-check on random circuits."""
 import numpy as np
 import pytest
 
-from repro.netlist.circuit import Circuit
+from repro.netlist.circuit import Circuit, CircuitError
 from repro.sim.power import PowerRecorder
 from repro.sim.simulator import ScalarSimulator
 from repro.sim.vectorsim import SimulationError, VectorSimulator
@@ -78,6 +78,46 @@ def test_event_budget_error():
     sim.evaluate_combinational({a: False})
     with pytest.raises(SimulationError, match="budget"):
         sim.settle([(0, a, True)], max_events=3)
+
+
+def ring_oscillator():
+    """NAND ring: oscillates while the enable input is high."""
+    c = Circuit()
+    en = c.add_input("en")
+    fb = c.add_wire("osc")
+    c.add_gate("NAND2", [en, fb], output=fb, name="ringnand")
+    return c, en
+
+
+def test_loop_rejected_without_allow_loops():
+    c, en = ring_oscillator()
+    with pytest.raises(CircuitError):
+        c.check()
+    with pytest.raises(CircuitError):
+        VectorSimulator(c, 1)
+
+
+@pytest.mark.parametrize("compile_schedules", [True, False])
+def test_oscillation_error_names_wires_and_budget(compile_schedules):
+    c, en = ring_oscillator()
+    sim = VectorSimulator(c, 2, compile_schedules=compile_schedules,
+                          allow_loops=True)
+    with pytest.raises(SimulationError) as ei:
+        sim.settle([(0, en, True)], max_events=500)
+    err = ei.value
+    assert err.budget == 500
+    assert err.time_ps is not None
+    assert "osc" in err.wires
+    assert "osc" in str(err)
+    assert "500" in str(err)
+
+
+def test_oscillation_stops_when_enable_falls():
+    c, en = ring_oscillator()
+    sim = VectorSimulator(c, 1, allow_loops=True)
+    # oscillate for a bounded window, then NAND(0, fb) == 1: settles
+    sim.settle([(0, en, True), (300, en, False)], max_events=10_000)
+    assert sim.values[c.wire("osc")][0]
 
 
 def test_power_recorded_on_transitions():
