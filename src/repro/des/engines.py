@@ -494,6 +494,17 @@ class DESTraceSource:
     def __post_init__(self) -> None:
         self.n_samples = self.engine.n_samples
 
+    def warmup(self):
+        """Compile every event schedule the campaign will replay.
+
+        Simulates one throwaway trace (fixed plaintext, fixed seed) so
+        the clocked harness's per-cycle schedules are in the compiled
+        cache before the campaign — or a forked worker pool — starts.
+        Returns the circuits whose caches the campaign runner pins.
+        """
+        self.acquire(np.ones(1, dtype=bool), np.random.default_rng(0))
+        return (self.engine.circuit,)
+
     def acquire(self, fixed_mask: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         from .bits import int_to_bitarray
         from .reference import des_encrypt_bits

@@ -15,7 +15,9 @@ fig17   TVLA of the PD engine (coupling)                eval.fig17
 
 plus ``fault_sweep`` (eval.fault_sweep): the delay-variation
 margin-erosion sweep over the fault-injection subsystem — not a paper
-figure, but the robustness question behind Sec. VII-B.
+figure, but the robustness question behind Sec. VII-B; and ``bench``
+(eval.bench): the simulator-throughput benchmark that writes
+``BENCH_simulator.json`` (schema ``bench_simulator/v2``).
 
 Each module exposes ``run(...)`` returning a result object with a
 ``render()`` method; the benchmark harness under ``benchmarks/`` calls
@@ -26,6 +28,7 @@ full scaled campaign.
 from typing import Callable, Dict
 
 from . import (
+    bench,
     fault_sweep,
     fig14,
     fig15,
@@ -47,10 +50,12 @@ EXPERIMENTS: Dict[str, Callable] = {
     "fig15": fig15.run,
     "fig17": fig17.run,
     "fault_sweep": fault_sweep.run,
+    "bench": bench.run,
 }
 
 __all__ = [
     "EXPERIMENTS",
+    "bench",
     "fault_sweep",
     "fig14",
     "fig15",

@@ -1,0 +1,302 @@
+"""Simulator throughput benchmark — ``BENCH_simulator.json`` schema v2.
+
+Two head-to-head comparisons over the simulation substrate:
+
+* **settle** — compiled schedule replay vs the interpreted event loop
+  on a campaign-shaped gadget-bank workload (both engines must agree
+  bitwise; only the time differs);
+* **campaign** — serial vs parallel :func:`repro.leakage.run_campaign`
+  over the same source and config (bitwise-equal t-statistics are a
+  hard requirement; the speedup is the headline number).
+
+Schema history
+--------------
+``bench_simulator/v1`` recorded a single ``speedup`` per comparison
+and nothing about the host — which let a 4-workers-on-1-core run
+publish a 0.92x "speedup" with no way to see why.  ``v2`` adds:
+
+* ``parallel_comparison_valid`` — ``False`` when the host has fewer
+  than two CPUs; the parallel timing then only measures pool overhead
+  and must not be read as a regression (the bitwise-equality check
+  still holds and still runs);
+* ``n_workers`` vs ``cpu_count`` next to every campaign timing;
+* the full :meth:`repro.leakage.stats.CampaignStats.as_dict` of both
+  campaign runs (``serial_stats`` / ``parallel_stats``): transport,
+  start method, pipe bytes, warm-up time, per-batch min/median/max and
+  schedule compile-vs-replay counts.
+
+The pytest benches under ``benchmarks/`` call the same comparison
+functions with CI budgets and write the same JSON; ``python -m repro
+bench [--quick]`` runs them standalone.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import statistics
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..core.gadgets import build_secand2
+from ..core.shares import share
+from ..leakage.acquisition import CampaignConfig, run_campaign
+from ..sim.power import PowerRecorder
+from ..sim.vectorsim import VectorSimulator
+
+__all__ = [
+    "SCHEMA",
+    "median_time",
+    "settle_comparison",
+    "campaign_comparison",
+    "assemble_payload",
+    "write_json",
+    "BenchResult",
+    "run",
+]
+
+SCHEMA = "bench_simulator/v2"
+
+#: Default output location (repo root when run from a checkout; the
+#: CLI and the pytest bench both write here and CI uploads it).
+DEFAULT_JSON = Path(__file__).resolve().parents[3] / "BENCH_simulator.json"
+
+
+def median_time(fn: Callable, reps: int = 15, prep: Optional[Callable] = None) -> float:
+    """Median wall time of ``fn`` over ``reps`` repetitions.
+
+    ``prep`` runs untimed before each repetition (state reset, so every
+    ``fn`` does real work); the first ``fn`` call is an untimed warmup
+    and compiles schedules where applicable.
+    """
+    if prep is not None:
+        prep()
+    fn()
+    times = []
+    for _ in range(reps):
+        if prep is not None:
+            prep()
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return statistics.median(times)
+
+
+def settle_comparison(
+    n_instances: int = 32, n_traces: int = 1024, reps: int = 15
+) -> Dict[str, object]:
+    """Compiled replay vs interpreted settle on a secAND2 bank.
+
+    Returns the v2 ``settle`` section; raises AssertionError if the two
+    engines disagree on values or power (they must be bitwise equal).
+    """
+    rng = np.random.default_rng(0)
+    c = build_secand2(n_instances=n_instances)
+    n = n_traces
+    x0, x1 = share(rng.integers(0, 2, n).astype(bool), rng)
+    y0, y1 = share(rng.integers(0, 2, n).astype(bool), rng)
+    events = [
+        (0, c.wire("y0"), y0),
+        (1000, c.wire("x0"), x0),
+        (1000, c.wire("x1"), x1),
+        (2000, c.wire("y1"), y1),
+    ]
+    inputs = {c.wire(k): False for k in ("x0", "x1", "y0", "y1")}
+
+    def make(compiled):
+        sim = VectorSimulator(c, n, compile_schedules=compiled)
+        rec = PowerRecorder(n, 5000, bin_ps=250, weights=sim.weights)
+
+        def prep():
+            sim.reset_state(False)
+            sim.evaluate_combinational(inputs)
+
+        def run_once():
+            sim.settle(events, recorder=rec)
+
+        return sim, rec, prep, run_once
+
+    sim_i, rec_i, prep_i, run_i = make(False)
+    sim_c, rec_c, prep_c, run_c = make(True)
+    t_interp = median_time(run_i, reps=reps, prep=prep_i)
+    t_compiled = median_time(run_c, reps=reps, prep=prep_c)
+    prep_i()
+    run_i()
+    prep_c()
+    run_c()
+    assert np.array_equal(sim_i.values, sim_c.values)
+    assert np.array_equal(rec_i.power, rec_c.power)
+    return {
+        "circuit": "secAND2 bank",
+        "n_instances": n_instances,
+        "n_traces": n,
+        "interpreted_ms": t_interp * 1e3,
+        "compiled_ms": t_compiled * 1e3,
+        "speedup": t_interp / t_compiled,
+    }
+
+
+def campaign_comparison(
+    source,
+    config: CampaignConfig,
+    n_workers: "int | str" = "auto",
+    source_label: str = "",
+) -> Dict[str, object]:
+    """Serial vs parallel campaign over one source/config.
+
+    Returns the v2 ``campaign`` section, with the serial and parallel
+    :class:`~repro.leakage.stats.CampaignStats` embedded; raises
+    AssertionError if the parallel t-statistics are not bitwise equal
+    to the serial ones.
+    """
+    serial = run_campaign(source, config, n_workers=1)
+    parallel = run_campaign(source, config, n_workers=n_workers)
+    bitwise = bool(
+        np.array_equal(serial.t1, parallel.t1)
+        and np.array_equal(serial.t2, parallel.t2)
+        and np.array_equal(serial.t3, parallel.t3)
+    )
+    assert bitwise, "parallel campaign diverged bitwise from serial"
+    t_serial = serial.stats.wall_seconds
+    t_parallel = parallel.stats.wall_seconds
+    return {
+        "source": source_label or type(source).__name__,
+        "n_traces": config.n_traces,
+        "batch_size": config.batch_size,
+        "n_workers": parallel.stats.n_workers,
+        "requested_workers": n_workers,
+        "serial_s": t_serial,
+        "parallel_s": t_parallel,
+        "speedup": t_serial / t_parallel if t_parallel > 0 else 0.0,
+        "bitwise_equal": bitwise,
+        "serial_stats": serial.stats.as_dict(),
+        "parallel_stats": parallel.stats.as_dict(),
+    }
+
+
+def assemble_payload(**sections) -> Dict[str, object]:
+    """Wrap comparison sections in the v2 envelope (host + validity)."""
+    cpu = os.cpu_count() or 1
+    return {
+        "schema": SCHEMA,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpu_count": cpu,
+        "unix_time": time.time(),
+        # On a single-CPU host the parallel campaign timing measures
+        # pool overhead, not parallelism; readers must not treat its
+        # speedup as a regression signal.
+        "parallel_comparison_valid": cpu >= 2,
+        **sections,
+    }
+
+
+def write_json(payload: Dict[str, object], path: "Optional[Path]" = None) -> Path:
+    out = Path(path) if path is not None else DEFAULT_JSON
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    return out
+
+
+@dataclass
+class BenchResult:
+    """``run()`` output: the JSON payload plus where it was written."""
+
+    payload: Dict[str, object]
+    json_path: Optional[Path]
+
+    def render(self) -> str:
+        p = self.payload
+        lines = [
+            f"bench_simulator {p['schema']}  "
+            f"(python {p['python']}, numpy {p['numpy']}, "
+            f"{p['cpu_count']} cpu)"
+        ]
+        s = p.get("settle")
+        if s:
+            lines.append(
+                f"settle:   interpreted {s['interpreted_ms']:8.3f} ms   "
+                f"compiled {s['compiled_ms']:8.3f} ms   "
+                f"speedup {s['speedup']:.2f}x"
+            )
+        c = p.get("campaign")
+        if c:
+            lines.append(
+                f"campaign: serial {c['serial_s']:8.3f} s   "
+                f"parallel({c['n_workers']}) {c['parallel_s']:8.3f} s   "
+                f"speedup {c['speedup']:.2f}x   "
+                f"bitwise={c['bitwise_equal']}"
+            )
+            if not p["parallel_comparison_valid"]:
+                lines.append(
+                    "  NOTE: single-CPU host — the parallel timing "
+                    "measures pool overhead, not parallelism; only the "
+                    "bitwise check is meaningful here"
+                )
+            stats = c.get("parallel_stats") or {}
+            if stats:
+                lines.append(
+                    f"  parallel run: {stats['start_method']} start, "
+                    f"transport={stats['transport']} "
+                    f"({stats['pipe_bytes']:,} B through the pipe), "
+                    f"warmup {stats['warmup_seconds']:.3f}s, "
+                    f"schedules {stats['schedule_replays']} replayed / "
+                    f"{stats['schedule_compiles']} compiled"
+                )
+        if self.json_path is not None:
+            lines.append(f"wrote {self.json_path}")
+        return "\n".join(lines)
+
+
+def run(
+    quick: bool = False,
+    n_workers: "Optional[int | str]" = None,
+    write: bool = True,
+    json_path: "Optional[Path]" = None,
+) -> BenchResult:
+    """Run both comparisons and (by default) write the v2 JSON.
+
+    ``quick`` shrinks the budgets to CI-smoke size and swaps the
+    campaign workload from the masked-DES netlist engine to the
+    8-instance secAND2 sequence source (seconds, not minutes).
+    ``n_workers`` defaults to ``"auto"`` (match the host) so the
+    recorded speedup is the best the box can do; pass an int to
+    measure a specific topology.
+    """
+    workers = "auto" if n_workers is None else n_workers
+    if quick:
+        settle = settle_comparison(n_instances=8, n_traces=256, reps=3)
+        from ..core.sequences import INPUT_NAMES, SequenceSource
+
+        source = SequenceSource(INPUT_NAMES, n_instances=8)
+        cfg = CampaignConfig(
+            n_traces=400, batch_size=100, noise_sigma=1.0, seed=0,
+            label="bench-quick",
+        )
+        campaign = campaign_comparison(
+            source, cfg, n_workers=workers,
+            source_label="SequenceSource (secAND2 bank, 8 instances)",
+        )
+    else:
+        settle = settle_comparison()
+        from ..des.engines import DESTraceSource, MaskedDESNetlistEngine
+
+        engine = MaskedDESNetlistEngine("ff")
+        source = DESTraceSource(
+            engine, 0x0123456789ABCDEF, 0x133457799BBCDFF1, prng_enabled=True
+        )
+        cfg = CampaignConfig(
+            n_traces=500, batch_size=125, noise_sigma=1.0, seed=0,
+            label="bench",
+        )
+        campaign = campaign_comparison(
+            source, cfg, n_workers=workers,
+            source_label="DESTraceSource (masked DES netlist, ff variant)",
+        )
+    payload = assemble_payload(settle=settle, campaign=campaign)
+    path = write_json(payload, json_path) if write else None
+    return BenchResult(payload=payload, json_path=path)

@@ -12,7 +12,13 @@ from typing import Iterable, List, Sequence
 
 import numpy as np
 
-__all__ = ["render_table", "sparkline", "tvla_panel", "rule"]
+__all__ = [
+    "render_table",
+    "sparkline",
+    "tvla_panel",
+    "campaign_stats_panel",
+    "rule",
+]
 
 _SPARK = " .:-=+*#%@"
 
@@ -55,8 +61,22 @@ def sparkline(values: np.ndarray, width: int = 64) -> str:
     return "".join(_SPARK[i] for i in idx)
 
 
-def tvla_panel(result, threshold: float = 4.5) -> str:
-    """Three-row panel (orders 1..3) like one subplot of Fig. 14/15/17."""
+def campaign_stats_panel(stats) -> str:
+    """Indented acquisition-observability block for a campaign result.
+
+    Renders :meth:`repro.leakage.stats.CampaignStats.summary` — worker
+    topology, throughput, transport traffic and schedule-cache
+    behaviour — under the statistical panel it belongs to.
+    """
+    return "\n".join("  " + line for line in stats.summary().splitlines())
+
+
+def tvla_panel(result, threshold: float = 4.5, show_stats: bool = False) -> str:
+    """Three-row panel (orders 1..3) like one subplot of Fig. 14/15/17.
+
+    ``show_stats=True`` appends the campaign's acquisition stats
+    (:func:`campaign_stats_panel`) when the result carries them.
+    """
     lines = [f"{result.label or 'TVLA'}  (n = {result.n_traces})"]
     for order, t in ((1, result.t1), (2, result.t2), (3, result.t3)):
         mx = float(np.max(np.abs(t))) if t.size else 0.0
@@ -64,4 +84,7 @@ def tvla_panel(result, threshold: float = 4.5) -> str:
         lines.append(
             f"  t{order} |max|={mx:7.2f} [{mark}]  {sparkline(t)}"
         )
+    stats = getattr(result, "stats", None)
+    if show_stats and stats is not None:
+        lines.append(campaign_stats_panel(stats))
     return "\n".join(lines)

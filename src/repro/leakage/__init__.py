@@ -11,10 +11,24 @@ from .tvla import (
 from .acquisition import (
     CampaignBatchError,
     CampaignConfig,
+    OversubscriptionWarning,
     TraceSource,
     detect_leakage_traces,
+    resolve_n_workers,
     run_campaign,
     run_multi_fixed,
+    suggest_batch_size,
+)
+from .stats import BatchRecord, CampaignStats
+from .transport import (
+    SHM_THRESHOLD_BYTES,
+    TRANSPORTS,
+    SharedTraceBuffer,
+    ShardPayload,
+    pack_shard,
+    resolve_transport,
+    shared_memory_available,
+    unpack_shard,
 )
 from .resilient import load_checkpoint, run_campaign_resilient, save_checkpoint
 from .snr import snr
@@ -29,12 +43,25 @@ __all__ = [
     "welch_t",
     "CampaignBatchError",
     "CampaignConfig",
+    "OversubscriptionWarning",
     "TraceSource",
     "detect_leakage_traces",
-    "load_checkpoint",
+    "resolve_n_workers",
     "run_campaign",
-    "run_campaign_resilient",
     "run_multi_fixed",
+    "suggest_batch_size",
+    "BatchRecord",
+    "CampaignStats",
+    "SHM_THRESHOLD_BYTES",
+    "TRANSPORTS",
+    "SharedTraceBuffer",
+    "ShardPayload",
+    "pack_shard",
+    "resolve_transport",
+    "shared_memory_available",
+    "unpack_shard",
+    "load_checkpoint",
+    "run_campaign_resilient",
     "save_checkpoint",
     "snr",
     "RandomnessSource",

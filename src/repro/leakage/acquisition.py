@@ -18,28 +18,64 @@ Every batch derives its random stream from ``(campaign seed, batch
 index)``, so any batch can be simulated independently of the others.
 ``run_campaign`` / ``detect_leakage_traces`` / ``run_multi_fixed``
 exploit this with ``n_workers``: batches are sharded across a process
-pool, each worker returns a per-batch :class:`TTestAccumulator`, and
-the shards are merged *in batch order* — which reproduces the serial
-run's float64 addition sequence bit for bit (see
-:meth:`TTestAccumulator.merge`).  A parallel campaign is therefore not
-"statistically equivalent" to the serial one; it is the same result.
+pool, each worker reduces its batch to the per-batch
+:class:`TTestAccumulator` *moments* (never raw traces — see
+:mod:`repro.leakage.transport`), and the shards are merged *in batch
+order* — which reproduces the serial run's float64 addition sequence
+bit for bit (see :meth:`TTestAccumulator.merge`).  A parallel campaign
+is therefore not "statistically equivalent" to the serial one; it is
+the same result.
+
+For parallelism to actually pay, three things have to hold, and this
+module enforces all three:
+
+1. **Cheap shard transport.**  Workers return one contiguous moment
+   buffer per batch (``transport="pickle"``) or just a shared-memory
+   segment name (``transport="shared_memory"``); ``"auto"`` picks by
+   payload size.  Raw power matrices never cross the pipe.
+2. **Warm schedule caches.**  Sources exposing ``warmup()`` are warmed
+   *in the parent before forking*, so every worker inherits the
+   compiled event schedules instead of recompiling them; under
+   ``spawn`` each worker warms itself once in ``_init_worker``.  The
+   warmed circuits are pinned — a structural edit mid-campaign raises
+   :class:`repro.sim.compiled.StaleScheduleError` instead of silently
+   simulating a different device.
+3. **A sane worker count.**  ``n_workers="auto"`` resolves against
+   ``os.cpu_count()``; an explicit request exceeding the core count
+   triggers an :class:`OversubscriptionWarning` (never again a silent
+   4-workers-on-1-core "benchmark").  :func:`suggest_batch_size`
+   documents the batch-size heuristic; ``CampaignConfig.autotune()``
+   applies both.
+
+Every runner attaches a :class:`repro.leakage.stats.CampaignStats` to
+its :class:`TvlaResult` so throughput regressions are observable, not
+anecdotal.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
+import time
 import traceback
+import warnings
 from dataclasses import dataclass, replace
 from typing import Callable, Iterator, List, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
 
+from ..sim.compiled import pin_schedule_cache, schedule_cache_counters
+from .stats import BatchRecord, CampaignStats
+from .transport import ShardPayload, pack_shard, resolve_transport, unpack_shard
 from .tvla import TTestAccumulator, TvlaResult
 
 __all__ = [
     "TraceSource",
     "CampaignConfig",
     "CampaignBatchError",
+    "OversubscriptionWarning",
+    "resolve_n_workers",
+    "suggest_batch_size",
     "run_campaign",
     "run_multi_fixed",
     "detect_leakage_traces",
@@ -78,6 +114,17 @@ class CampaignBatchError(RuntimeError):
         self.worker_traceback = worker_traceback
 
 
+class OversubscriptionWarning(RuntimeWarning):
+    """More campaign workers requested than the host has CPUs.
+
+    Oversubscribed pools *lose* throughput (context switching plus
+    transport overhead with zero extra compute), which is how the v1
+    bench recorded a 0.92x "speedup" for 4 workers on 1 core.  The
+    request is honoured — CI boxes legitimately oversubscribe for
+    correctness tests — but never silently.
+    """
+
+
 class TraceSource(Protocol):
     """A simulated device under test.
 
@@ -85,11 +132,19 @@ class TraceSource(Protocol):
     batch: traces where ``fixed_mask`` is True must use the fixed
     stimulus, the rest a fresh random stimulus.
 
-    Sources used with ``n_workers > 1`` must be picklable (the pool is
-    forked where the platform allows it, so this only bites on spawn
-    platforms), and :meth:`acquire` must derive all randomness from the
-    passed-in generator — module- or instance-level RNG state would
-    break the per-batch reproducibility contract.
+    Sources used with ``n_workers > 1`` must be picklable (under the
+    ``spawn`` start method the source is re-pickled into every worker;
+    ``fork`` inherits it), and :meth:`acquire` must derive all
+    randomness from the passed-in generator — module- or
+    instance-level RNG state would break the per-batch reproducibility
+    contract.
+
+    Sources backed by the glitch simulator should additionally expose
+    ``warmup() -> Sequence[Circuit]``: simulate one throwaway trace so
+    every event-schedule the campaign will replay is compiled, and
+    return the circuits involved.  The campaign runners call it once
+    per process (parent before fork, workers under spawn) and pin the
+    returned circuits' schedule caches for the campaign's duration.
     """
 
     n_samples: int
@@ -114,7 +169,17 @@ class CampaignConfig:
         label: Free-form experiment label carried into the result.
         n_workers: Default process count for campaign runners; the
             ``n_workers`` argument of :func:`run_campaign` et al.
-            overrides it per call.  1 = in-process serial.
+            overrides it per call.  1 = in-process serial; ``"auto"``
+            resolves against ``os.cpu_count()`` (see
+            :func:`resolve_n_workers`).
+        transport: Shard transport for parallel runs — ``"auto"``
+            (default), ``"pickle"`` or ``"shared_memory"``; see
+            :mod:`repro.leakage.transport`.
+        start_method: Process start method for the worker pool.
+            ``None`` prefers ``fork`` (workers inherit the warmed
+            schedule cache) with the platform default as fallback;
+            ``"spawn"`` / ``"forkserver"`` force a re-pickled cold
+            start (results stay bitwise identical either way).
     """
 
     n_traces: int = 20000
@@ -122,7 +187,9 @@ class CampaignConfig:
     noise_sigma: float = 1.0
     seed: int = 0
     label: str = ""
-    n_workers: int = 1
+    n_workers: "int | str" = 1
+    transport: str = "auto"
+    start_method: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.n_traces <= 0:
@@ -137,6 +204,90 @@ class CampaignConfig:
             raise ValueError(
                 f"noise_sigma must be >= 0, got {self.noise_sigma}"
             )
+        if isinstance(self.n_workers, str):
+            if self.n_workers != "auto":
+                raise ValueError(
+                    f"n_workers must be an int >= 1 or 'auto', "
+                    f"got {self.n_workers!r}"
+                )
+        elif self.n_workers < 1:
+            raise ValueError(
+                f"n_workers must be an int >= 1 or 'auto', got {self.n_workers}"
+            )
+        # Fail on typos now, not inside a worker an hour into the run.
+        resolve_transport(self.transport, 1)
+        if self.start_method is not None:
+            if self.start_method not in multiprocessing.get_all_start_methods():
+                raise ValueError(
+                    f"start_method {self.start_method!r} not available; "
+                    f"this platform offers "
+                    f"{multiprocessing.get_all_start_methods()}"
+                )
+
+    def autotune(self, cpu_count: Optional[int] = None) -> "CampaignConfig":
+        """A copy with ``n_workers`` and ``batch_size`` tuned to the host.
+
+        Workers: one per CPU, but never more than the campaign has
+        batches of :func:`suggest_batch_size` traces to fill.  See that
+        function for the batch-size heuristic.
+        """
+        cpu = cpu_count if cpu_count is not None else (os.cpu_count() or 1)
+        workers = max(1, min(cpu, self.n_traces // _MIN_AUTO_BATCH or 1))
+        batch = suggest_batch_size(self.n_traces, workers)
+        return replace(self, n_workers=workers, batch_size=batch)
+
+
+#: Autotuned batches never go below this (vectorised simulation and
+#: accumulator updates amortise poorly under it) ...
+_MIN_AUTO_BATCH = 256
+#: ... nor above this (bounds the per-worker trace matrix residency).
+_MAX_AUTO_BATCH = 8192
+
+
+def suggest_batch_size(n_traces: int, n_workers: int) -> int:
+    """Batch-size heuristic for a campaign of ``n_traces``.
+
+    Three pressures, in priority order:
+
+    1. **Load balance** — at least ~4 batches per worker, so the pool's
+       dynamic dispatch can even out per-batch time variance and the
+       campaign tail is short.
+    2. **Vectorisation** — at least :data:`_MIN_AUTO_BATCH` traces per
+       batch, below which per-batch fixed costs (RNG spawn, simulator
+       setup, shard transport) dominate the numpy work.
+    3. **Memory** — at most :data:`_MAX_AUTO_BATCH` traces per batch,
+       bounding each worker's ``(batch, n_samples)`` float32 residency.
+    """
+    target = n_traces // max(1, 4 * n_workers)
+    return max(1, min(_MAX_AUTO_BATCH, max(_MIN_AUTO_BATCH, target), n_traces))
+
+
+def resolve_n_workers(
+    requested: "int | str",
+    n_batches: int,
+    cpu_count: Optional[int] = None,
+) -> int:
+    """Resolve a worker request against the host and the batch plan.
+
+    ``"auto"`` becomes ``min(cpu_count, n_batches)``.  An explicit
+    integer is clamped to the batch count (idle workers are pointless)
+    and honoured beyond the CPU count — but loudly, via
+    :class:`OversubscriptionWarning`.
+    """
+    cpu = cpu_count if cpu_count is not None else (os.cpu_count() or 1)
+    if requested == "auto":
+        return max(1, min(cpu, n_batches))
+    n = max(1, min(int(requested), n_batches))
+    if n > 1 and n > cpu:
+        warnings.warn(
+            f"campaign requests {n} workers on a {cpu}-CPU host; "
+            "oversubscription adds transport and scheduling overhead "
+            "without adding compute (use n_workers='auto' to match the "
+            "host)",
+            OversubscriptionWarning,
+            stacklevel=3,
+        )
+    return n
 
 
 # ----------------------------------------------------------------------
@@ -184,14 +335,54 @@ def _batch_accumulator(
     return acc
 
 
+def _timed_batch(
+    source: TraceSource, config: CampaignConfig, index: int, n: int
+) -> Tuple[TTestAccumulator, BatchRecord]:
+    """One batch plus its :class:`BatchRecord` (time, cache deltas)."""
+    c0 = schedule_cache_counters()
+    t0 = time.perf_counter()
+    acc = _batch_accumulator(source, config, index, n)
+    seconds = time.perf_counter() - t0
+    c1 = schedule_cache_counters()
+    return acc, BatchRecord(
+        index=index,
+        n_traces=n,
+        seconds=seconds,
+        schedule_compiles=c1["compiles"] - c0["compiles"],
+        schedule_replays=c1["hits"] - c0["hits"],
+    )
+
+
+def _warm_source(source: TraceSource) -> float:
+    """Warm and pin the source's schedule caches; returns seconds spent.
+
+    No-op (0.0) for sources without a ``warmup()`` method.  Runs once
+    per process: in the parent before a ``fork`` pool is built (the
+    workers inherit the warm cache through copy-on-write), and inside
+    ``_init_worker`` (a cache hit under ``fork``, the real warm-up
+    under ``spawn``).
+    """
+    warm = getattr(source, "warmup", None)
+    if warm is None:
+        return 0.0
+    t0 = time.perf_counter()
+    circuits = warm() or ()
+    for circuit in circuits:
+        pin_schedule_cache(circuit)
+    return time.perf_counter() - t0
+
+
 # Worker-process state, installed once per worker by the pool
 # initializer so the source/config are not re-pickled per task.
-_WORKER_STATE: Optional[Tuple[TraceSource, CampaignConfig]] = None
+_WORKER_STATE: Optional[Tuple[TraceSource, CampaignConfig, str]] = None
 
 
-def _init_worker(source: TraceSource, config: CampaignConfig) -> None:
+def _init_worker(
+    source: TraceSource, config: CampaignConfig, transport: str
+) -> None:
     global _WORKER_STATE
-    _WORKER_STATE = (source, config)
+    _warm_source(source)
+    _WORKER_STATE = (source, config, transport)
 
 
 @dataclass
@@ -209,66 +400,116 @@ class _WorkerFailure:
     traceback: str
 
 
-def _worker_batch(item: Tuple[int, int]) -> "TTestAccumulator | _WorkerFailure":
+def _worker_batch(
+    item: Tuple[int, int]
+) -> "Tuple[ShardPayload, BatchRecord] | _WorkerFailure":
     index, n = item
-    source, config = _WORKER_STATE  # type: ignore[misc]
+    source, config, transport = _WORKER_STATE  # type: ignore[misc]
     try:
-        return _batch_accumulator(source, config, index, n)
+        acc, record = _timed_batch(source, config, index, n)
+        payload = pack_shard(acc, transport)
     except Exception as exc:
         return _WorkerFailure(
             index, f"{type(exc).__name__}: {exc}", traceback.format_exc()
         )
+    record.pipe_bytes = payload.pipe_bytes
+    return payload, record
 
 
-def _iter_batch_accumulators(
+def _pool_context(config: CampaignConfig):
+    """The multiprocessing context campaign pools run under.
+
+    Prefers ``fork`` (workers inherit the parent's warmed schedule
+    cache and the source is never pickled) unless the config names a
+    start method; falls back to the platform default.
+    """
+    if config.start_method is not None:
+        return multiprocessing.get_context(config.start_method)
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+def _campaign_pool(
+    n_workers: int,
     source: TraceSource,
     config: CampaignConfig,
-    n_workers: Optional[int] = None,
+    transport: str,
+    stats: Optional[CampaignStats] = None,
+) -> "multiprocessing.pool.Pool":
+    """Worker pool primed with the campaign state.
+
+    Under ``fork`` the source is warmed (and its circuits pinned) in
+    the parent *before* the pool is created, so every worker inherits
+    the compiled schedules; under ``spawn`` the workers warm themselves
+    in :func:`_init_worker`.
+    """
+    ctx = _pool_context(config)
+    if ctx.get_start_method() == "fork":
+        warm_s = _warm_source(source)
+        if stats is not None:
+            stats.warmup_seconds += warm_s
+    return ctx.Pool(
+        n_workers, initializer=_init_worker, initargs=(source, config, transport)
+    )
+
+
+def _iter_shards(
+    source: TraceSource,
+    config: CampaignConfig,
+    n_workers: "Optional[int | str]",
+    stats: CampaignStats,
 ) -> Iterator[TTestAccumulator]:
     """Yield one accumulator shard per batch, in batch order.
 
-    ``n_workers <= 1``: batches are simulated in-process.  Otherwise a
-    process pool shards them; ``imap`` keeps the yield order equal to
-    the batch order, so consumers merging shards as they arrive get the
-    serial result bit for bit.  The pool prefers the ``fork`` start
-    method (no pickling of the source on dispatch) and falls back to
-    the platform default.
+    Effective ``n_workers <= 1``: batches are simulated in-process.
+    Otherwise a process pool shards them; ``imap`` keeps the yield
+    order equal to the batch order, so consumers merging shards as they
+    arrive get the serial result bit for bit.  Appends one
+    :class:`BatchRecord` per yielded shard to ``stats``.
     """
     plan = _batch_plan(config)
     if n_workers is None:
         n_workers = config.n_workers
-    n_workers = max(1, min(int(n_workers), len(plan)))
-    if n_workers == 1:
+    effective = resolve_n_workers(n_workers, len(plan))
+    stats.requested_workers = n_workers
+    stats.n_workers = effective
+    stats.oversubscribed = effective > stats.cpu_count
+    if effective == 1:
+        stats.start_method = "serial"
+        stats.transport = "none"
         for index, n in plan:
             try:
-                yield _batch_accumulator(source, config, index, n)
+                shard, record = _timed_batch(source, config, index, n)
             except Exception as exc:
                 raise CampaignBatchError(
                     index, config.label, f"{type(exc).__name__}: {exc}"
                 ) from exc
-        return
-    with _campaign_pool(n_workers, source, config) as pool:
-        for shard in pool.imap(_worker_batch, plan):
-            if isinstance(shard, _WorkerFailure):
-                raise CampaignBatchError(
-                    shard.index, config.label, shard.message, shard.traceback
-                )
+            stats.batches.append(record)
             yield shard
+        return
+    transport = resolve_transport(config.transport, source.n_samples)
+    stats.start_method = _pool_context(config).get_start_method()
+    stats.transport = transport
+    with _campaign_pool(effective, source, config, transport, stats) as pool:
+        for out in pool.imap(_worker_batch, plan):
+            if isinstance(out, _WorkerFailure):
+                raise CampaignBatchError(
+                    out.index, config.label, out.message, out.traceback
+                )
+            payload, record = out
+            stats.batches.append(record)
+            yield unpack_shard(payload)
 
 
-def _campaign_pool(
-    n_workers: int, source: TraceSource, config: CampaignConfig
-) -> "multiprocessing.pool.Pool":
-    """Worker pool primed with the campaign state.
-
-    Prefers the ``fork`` start method (no pickling of the source on
-    dispatch) and falls back to the platform default.
-    """
-    try:
-        ctx = multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - non-POSIX platforms
-        ctx = multiprocessing.get_context()
-    return ctx.Pool(n_workers, initializer=_init_worker, initargs=(source, config))
+def _begin_stats(config: CampaignConfig) -> CampaignStats:
+    return CampaignStats(
+        label=config.label,
+        n_traces=config.n_traces,
+        batch_size=config.batch_size,
+        cpu_count=os.cpu_count() or 1,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -277,20 +518,26 @@ def _campaign_pool(
 def run_campaign(
     source: TraceSource,
     config: CampaignConfig,
-    n_workers: Optional[int] = None,
+    n_workers: "Optional[int | str]" = None,
 ) -> TvlaResult:
     """Run one fixed-vs-random TVLA campaign against ``source``.
 
     Args:
         source: Device under test.
         config: Campaign parameters.
-        n_workers: Process count; ``None`` uses ``config.n_workers``.
-            Any value yields the identical :class:`TvlaResult`.
+        n_workers: Process count; ``None`` uses ``config.n_workers``,
+            ``"auto"`` matches the host's CPU count.  Any value yields
+            the identical t-statistics; the attached
+            :class:`CampaignStats` (``result.stats``) records the
+            topology, throughput and transport actually used.
     """
+    stats = _begin_stats(config)
+    t0 = time.perf_counter()
     acc = TTestAccumulator(source.n_samples)
-    for shard in _iter_batch_accumulators(source, config, n_workers):
+    for shard in _iter_shards(source, config, n_workers, stats):
         acc.merge(shard)
-    return acc.result(label=config.label)
+    stats.wall_seconds = time.perf_counter() - t0
+    return acc.result(label=config.label, stats=stats)
 
 
 def detect_leakage_traces(
@@ -299,7 +546,7 @@ def detect_leakage_traces(
     order: int = 1,
     threshold: float = 4.5,
     consecutive: int = 2,
-    n_workers: Optional[int] = None,
+    n_workers: "Optional[int | str]" = None,
 ) -> Tuple[Optional[int], TvlaResult]:
     """How many traces until TVLA flags leakage?
 
@@ -309,18 +556,25 @@ def detect_leakage_traces(
     This regenerates the paper's "significant peaks with as little as
     12 000 traces" PRNG-off sanity numbers (Fig. 14a / 17d).
 
-    With ``n_workers > 1`` batches are simulated ahead in parallel but
+    With parallel workers batches are simulated ahead in parallel but
     *checked* strictly in batch order, so the detection point is the
     same as the serial run's; workers simulating batches beyond the
-    detection point are cancelled when the generator is closed.
+    detection point are cancelled when the generator is closed.  (The
+    ``auto`` transport resolves to ``pickle`` here: cancellation can
+    drop in-flight results, which must not strand shared-memory
+    segments.)
 
     Returns:
         ``(n_traces_at_detection or None, final TvlaResult)``.
     """
+    if config.transport == "auto":
+        config = replace(config, transport="pickle")
+    stats = _begin_stats(config)
+    t0 = time.perf_counter()
     acc = TTestAccumulator(source.n_samples)
     hits = 0
     detected: Optional[int] = None
-    shards = _iter_batch_accumulators(source, config, n_workers)
+    shards = _iter_shards(source, config, n_workers, stats)
     try:
         for shard in shards:
             acc.merge(shard)
@@ -334,14 +588,15 @@ def detect_leakage_traces(
                 hits = 0
     finally:
         shards.close()
-    return detected, acc.result(label=config.label)
+    stats.wall_seconds = time.perf_counter() - t0
+    return detected, acc.result(label=config.label, stats=stats)
 
 
 def run_multi_fixed(
     make_source: Callable[[int], TraceSource],
     config: CampaignConfig,
     n_fixed: int = 3,
-    n_workers: Optional[int] = None,
+    n_workers: "Optional[int | str]" = None,
 ) -> List[TvlaResult]:
     """The paper's protocol: repeat the test with several fixed plaintexts.
 

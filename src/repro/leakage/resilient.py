@@ -39,12 +39,16 @@ from .acquisition import (
     CampaignBatchError,
     CampaignConfig,
     TraceSource,
-    _batch_accumulator,
     _batch_plan,
     _campaign_pool,
+    _pool_context,
+    _timed_batch,
     _WorkerFailure,
     _worker_batch,
+    resolve_n_workers,
 )
+from .stats import CampaignStats
+from .transport import resolve_transport, unpack_shard
 from .tvla import TTestAccumulator, TvlaResult
 
 __all__ = [
@@ -177,9 +181,9 @@ def run_campaign_resilient(
     if checkpoint_every < 1:
         raise ValueError("checkpoint_every must be >= 1")
     plan = _batch_plan(config)
-    if n_workers is None:
-        n_workers = config.n_workers
-    n_workers = max(1, min(int(n_workers), len(plan)))
+    requested = config.n_workers if n_workers is None else n_workers
+    n_workers = resolve_n_workers(requested, len(plan))
+    transport = resolve_transport(config.transport, source.n_samples)
 
     acc = TTestAccumulator(source.n_samples)
     start = 0
@@ -188,6 +192,16 @@ def run_campaign_resilient(
         if loaded is not None:
             acc, start = loaded
 
+    stats = CampaignStats(
+        label=config.label,
+        n_traces=config.n_traces,
+        batch_size=config.batch_size,
+        requested_workers=requested,
+        cpu_count=os.cpu_count() or 1,
+    )
+    stats.oversubscribed = n_workers > stats.cpu_count
+    t_start = time.perf_counter()
+
     i = start
     attempts = 0
     pool = None
@@ -195,9 +209,23 @@ def run_campaign_resilient(
     submitted = i
     dirty = False  # merged batches not yet checkpointed
 
+    def drain_pending() -> None:
+        # Release shared-memory segments of speculative batches that
+        # completed but will be resubmitted (their payloads are
+        # discarded, and a stranded segment would outlive the run).
+        for result in pending.values():
+            try:
+                if result.ready():
+                    out = result.get(0)
+                    if not isinstance(out, _WorkerFailure):
+                        unpack_shard(out[0])
+            except Exception:
+                pass
+
     def teardown_pool() -> None:
         nonlocal pool, pending, submitted
         if pool is not None:
+            drain_pending()
             pool.terminate()
             pool.join()
         pool = None
@@ -208,16 +236,23 @@ def run_campaign_resilient(
         while i < len(plan):
             if n_workers <= 1:
                 # Serial path — also the degraded mode after retries.
+                stats.start_method = "serial"
+                stats.transport = "none"
                 index, n = plan[i]
                 try:
-                    shard = _batch_accumulator(source, config, index, n)
+                    shard, record = _timed_batch(source, config, index, n)
                 except Exception as exc:
                     raise CampaignBatchError(
                         index, config.label, f"{type(exc).__name__}: {exc}"
                     ) from exc
             else:
                 if pool is None:
-                    pool = _campaign_pool(n_workers, source, config)
+                    pool = _campaign_pool(
+                        n_workers, source, config, transport, stats
+                    )
+                    stats.n_workers = n_workers
+                    stats.transport = transport
+                    stats.start_method = _pool_context(config).get_start_method()
                     pending = {}
                     submitted = i
                 # Keep a bounded submission window ahead of the merge
@@ -229,25 +264,29 @@ def run_campaign_resilient(
                     )
                     submitted += 1
                 try:
-                    shard = pending.pop(i).get(timeout=worker_timeout_s)
+                    out = pending.pop(i).get(timeout=worker_timeout_s)
                 except Exception:
                     # Hung or killed worker / broken pool: tear down,
                     # back off, rebuild and resubmit from batch i.  The
                     # accumulator only ever holds batches < i, so the
                     # retry is invisible in the final statistics.
                     teardown_pool()
+                    stats.pool_rebuilds += 1
                     if attempts >= max_retries:
                         n_workers = 1  # permanent serial degradation
                         continue
                     time.sleep(backoff_s * (2**attempts))
                     attempts += 1
                     continue
-                if isinstance(shard, _WorkerFailure):
+                if isinstance(out, _WorkerFailure):
                     raise CampaignBatchError(
-                        shard.index, config.label, shard.message, shard.traceback
+                        out.index, config.label, out.message, out.traceback
                     )
+                payload, record = out
+                shard = unpack_shard(payload)
                 attempts = 0
             acc.merge(shard)
+            stats.batches.append(record)
             i += 1
             dirty = True
             if (i - start) % checkpoint_every == 0:
@@ -260,9 +299,10 @@ def run_campaign_resilient(
             # prefix so the restart costs at most one batch.
             save_checkpoint(checkpoint_path, acc, config, next_batch=i)
 
+    stats.wall_seconds = time.perf_counter() - t_start
     if cleanup:
         if os.path.exists(checkpoint_path):
             os.remove(checkpoint_path)
     else:
         save_checkpoint(checkpoint_path, acc, config, next_batch=i)
-    return acc.result(label=config.label)
+    return acc.result(label=config.label, stats=stats)

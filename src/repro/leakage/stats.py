@@ -1,0 +1,139 @@
+"""Campaign observability: where did the wall-clock time go?
+
+The v1 parallel campaign shipped with a single number (a speedup in
+``BENCH_simulator.json``) and no way to see *why* it was slow — which
+is how a 0.92x "speedup" on a 1-core box went unnoticed.  Every
+campaign runner now assembles a :class:`CampaignStats` and attaches it
+to the returned :class:`~repro.leakage.tvla.TvlaResult`, recording
+
+* the worker topology actually used (requested vs effective workers,
+  the host's CPU count, the pool start method, oversubscription);
+* per-batch wall time and the derived traces/second;
+* shard-transport traffic (which transport, bytes through the result
+  pipe);
+* compile-vs-replay behaviour of the compiled-schedule cache
+  (:func:`repro.sim.compiled.schedule_cache_counters` deltas measured
+  inside the workers) — a warmed campaign must show batch-time
+  ``schedule_compiles == 0``.
+
+``as_dict()`` is JSON-ready (the bench harness embeds it in
+``BENCH_simulator.json`` schema v2); ``summary()`` renders the
+two-line reading used by the ``repro.eval`` reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["BatchRecord", "CampaignStats"]
+
+
+@dataclass
+class BatchRecord:
+    """Timing and transport accounting of one acquired batch."""
+
+    index: int
+    n_traces: int
+    seconds: float
+    pipe_bytes: int = 0
+    schedule_compiles: int = 0  #: schedule compiles during this batch
+    schedule_replays: int = 0  #: schedule-cache hits during this batch
+
+
+@dataclass
+class CampaignStats:
+    """Aggregated observability of one campaign run."""
+
+    label: str = ""
+    n_traces: int = 0
+    batch_size: int = 0
+    requested_workers: "int | str" = 1
+    n_workers: int = 1
+    cpu_count: int = 1
+    oversubscribed: bool = False
+    start_method: str = "serial"  #: "serial" | "fork" | "spawn" | ...
+    transport: str = "none"
+    wall_seconds: float = 0.0
+    warmup_seconds: float = 0.0
+    pool_rebuilds: int = 0  #: resilient runner: pool teardown/retry count
+    batches: List[BatchRecord] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_batches(self) -> int:
+        return len(self.batches)
+
+    @property
+    def traces_per_second(self) -> float:
+        """End-to-end campaign throughput (merged traces / wall time)."""
+        done = sum(b.n_traces for b in self.batches)
+        return done / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    @property
+    def pipe_bytes(self) -> int:
+        """Total shard bytes through the pool's result pipe."""
+        return sum(b.pipe_bytes for b in self.batches)
+
+    @property
+    def schedule_compiles(self) -> int:
+        """Schedule compiles during batch acquisition (warm-up excluded)."""
+        return sum(b.schedule_compiles for b in self.batches)
+
+    @property
+    def schedule_replays(self) -> int:
+        """Schedule-cache hits during batch acquisition."""
+        return sum(b.schedule_replays for b in self.batches)
+
+    def batch_seconds(self) -> Dict[str, float]:
+        """Min / median / max per-batch wall time."""
+        times = sorted(b.seconds for b in self.batches)
+        if not times:
+            return {"min": 0.0, "median": 0.0, "max": 0.0}
+        mid = len(times) // 2
+        median = (
+            times[mid]
+            if len(times) % 2
+            else 0.5 * (times[mid - 1] + times[mid])
+        )
+        return {"min": times[0], "median": median, "max": times[-1]}
+
+    # ------------------------------------------------------------------
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-serialisable summary (no per-batch list)."""
+        return {
+            "label": self.label,
+            "n_traces": self.n_traces,
+            "batch_size": self.batch_size,
+            "n_batches": self.n_batches,
+            "requested_workers": self.requested_workers,
+            "n_workers": self.n_workers,
+            "cpu_count": self.cpu_count,
+            "oversubscribed": self.oversubscribed,
+            "start_method": self.start_method,
+            "transport": self.transport,
+            "wall_seconds": self.wall_seconds,
+            "warmup_seconds": self.warmup_seconds,
+            "traces_per_second": self.traces_per_second,
+            "pipe_bytes": self.pipe_bytes,
+            "schedule_compiles": self.schedule_compiles,
+            "schedule_replays": self.schedule_replays,
+            "pool_rebuilds": self.pool_rebuilds,
+            "batch_seconds": self.batch_seconds(),
+        }
+
+    def summary(self) -> str:
+        """Two-line human reading for the eval reports."""
+        bs = self.batch_seconds()
+        over = " OVERSUBSCRIBED" if self.oversubscribed else ""
+        return (
+            f"campaign: {self.n_traces} traces in {self.wall_seconds:.2f}s "
+            f"({self.traces_per_second:,.0f} traces/s)  "
+            f"workers={self.n_workers}/{self.cpu_count}cpu"
+            f"[{self.start_method}]{over}\n"
+            f"  batches: {self.n_batches} x ~{self.batch_size}  "
+            f"t/batch {bs['min']:.3f}/{bs['median']:.3f}/{bs['max']:.3f}s  "
+            f"transport={self.transport} ({self.pipe_bytes:,} B)  "
+            f"schedules: {self.schedule_replays} replayed, "
+            f"{self.schedule_compiles} compiled"
+        )

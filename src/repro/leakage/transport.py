@@ -1,0 +1,251 @@
+"""Batch-result transport between campaign workers and the parent.
+
+The first parallel-campaign implementation shipped every shard back as
+a pickled :class:`~repro.leakage.tvla.TTestAccumulator` — two
+``(6, n_samples)`` float64 raw-moment matrices per batch, serialised
+into the pool's result pipe byte by byte.  On trace-heavy campaigns
+that pipe traffic (plus the pickling CPU on both ends) ate the speedup
+the pool was supposed to buy (``BENCH_simulator.json`` v1 recorded a
+0.92x "speedup" for ``n_workers=4``).
+
+This module makes the shard transport explicit and cheap:
+
+``pickle``
+    The worker packs both classes' raw-moment sums into **one**
+    contiguous ``(2, 6, n_samples)`` float64 array and returns it with
+    three integers.  One buffer, one pickle, no object graph.
+
+``shared_memory``
+    The worker copies the packed moments into a POSIX shared-memory
+    segment (:mod:`multiprocessing.shared_memory`) and returns only the
+    segment *name*; the parent attaches, folds the moments straight out
+    of the mapping, and unlinks.  The result pipe carries ~100 bytes
+    per batch regardless of trace length — a zero-copy hand-off as far
+    as the pickle layer is concerned.
+
+``auto``
+    ``shared_memory`` when the platform supports it and the payload is
+    large enough for the segment round-trip to win
+    (:data:`SHM_THRESHOLD_BYTES`), else ``pickle``.
+
+Both paths are bitwise-lossless: the parent reconstructs the exact
+float64 sums the worker computed, so the merge order — and therefore
+the campaign's bitwise-equal-to-serial guarantee — is untouched.
+
+Raw traces
+----------
+Most campaigns never need raw traces in the parent (the accumulator is
+a sufficient statistic), but attack runners and trace dumps do.  For
+them :class:`SharedTraceBuffer` provides the same opt-in
+shared-memory hand-off for full ``(n_traces, n_samples)`` power
+matrices: the producer writes into a named segment, the consumer
+adopts it without the matrix ever touching a pipe.
+
+Ownership protocol: the **creating** process calls :meth:`close` (and
+deregisters itself); the **consuming** process calls :meth:`unlink`
+after reading.  A consumer that never materialises leaks the segment
+until interpreter shutdown — the campaign runners always consume or
+unlink in a ``finally``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .tvla import TTestAccumulator
+
+__all__ = [
+    "TRANSPORTS",
+    "SHM_THRESHOLD_BYTES",
+    "ShardPayload",
+    "shared_memory_available",
+    "resolve_transport",
+    "pack_shard",
+    "unpack_shard",
+    "SharedTraceBuffer",
+]
+
+#: Recognised transport names (``CampaignConfig.transport``).
+TRANSPORTS = ("auto", "pickle", "shared_memory")
+
+#: ``auto`` switches to shared memory above this packed-moment size;
+#: below it, one pickled buffer is cheaper than two segment syscalls.
+SHM_THRESHOLD_BYTES = 1 << 20
+
+#: Pickle overhead of a small payload tuple (header, ints, short
+#: strings) — used to estimate pipe traffic without re-serialising.
+_PIPE_OVERHEAD = 160
+
+
+def shared_memory_available() -> bool:
+    """Whether :mod:`multiprocessing.shared_memory` works here."""
+    try:
+        from multiprocessing import shared_memory  # noqa: F401
+    except ImportError:  # pragma: no cover - py<3.8 / exotic platforms
+        return False
+    return True
+
+
+def resolve_transport(transport: str, n_samples: int) -> str:
+    """Map a configured transport to the concrete one for this payload.
+
+    Raises:
+        ValueError: Unknown transport name, or ``shared_memory``
+            requested on a platform without it.
+    """
+    if transport not in TRANSPORTS:
+        raise ValueError(
+            f"transport must be one of {TRANSPORTS}, got {transport!r}"
+        )
+    if transport == "shared_memory" and not shared_memory_available():
+        raise ValueError(
+            "transport='shared_memory' requested but "
+            "multiprocessing.shared_memory is unavailable on this platform"
+        )
+    if transport == "auto":
+        packed = 2 * 6 * int(n_samples) * 8
+        if packed >= SHM_THRESHOLD_BYTES and shared_memory_available():
+            return "shared_memory"
+        return "pickle"
+    return transport
+
+
+@dataclass
+class ShardPayload:
+    """One batch's accumulator moments, in transit.
+
+    Exactly one of ``moments`` (pickle transport) and ``shm_name``
+    (shared-memory transport) is set.  ``pipe_bytes`` estimates what
+    actually crossed the pool's result pipe for this shard.
+    """
+
+    n_samples: int
+    fixed_n: int
+    random_n: int
+    moments: Optional[np.ndarray] = None  #: (2, 6, n_samples) float64
+    shm_name: Optional[str] = None
+    pipe_bytes: int = 0
+
+
+def pack_shard(acc: TTestAccumulator, transport: str) -> ShardPayload:
+    """Reduce an accumulator to its transportable moments (worker side).
+
+    ``transport`` must already be concrete (:func:`resolve_transport`).
+    """
+    packed = np.stack([acc._fixed.sums, acc._random.sums])
+    if transport == "pickle":
+        return ShardPayload(
+            n_samples=acc.n_samples,
+            fixed_n=acc._fixed.n,
+            random_n=acc._random.n,
+            moments=packed,
+            pipe_bytes=packed.nbytes + _PIPE_OVERHEAD,
+        )
+    from multiprocessing import resource_tracker, shared_memory
+
+    shm = shared_memory.SharedMemory(create=True, size=packed.nbytes)
+    np.ndarray(packed.shape, np.float64, buffer=shm.buf)[:] = packed
+    name = shm.name
+    shm.close()
+    # Ownership moves to the consumer, which unlinks after folding the
+    # moments in.  Deregister from *our* resource tracker so a spawn
+    # worker's tracker does not warn about (and double-free) a segment
+    # someone else already released.
+    try:  # pragma: no cover - tracker is an implementation detail
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:
+        pass
+    return ShardPayload(
+        n_samples=acc.n_samples,
+        fixed_n=acc._fixed.n,
+        random_n=acc._random.n,
+        shm_name=name,
+        pipe_bytes=len(name) + _PIPE_OVERHEAD,
+    )
+
+
+def unpack_shard(payload: ShardPayload) -> TTestAccumulator:
+    """Rebuild the worker's accumulator bit for bit (parent side).
+
+    Releases the shared-memory segment when the payload carries one.
+    """
+    acc = TTestAccumulator(payload.n_samples)
+    acc._fixed.n = payload.fixed_n
+    acc._random.n = payload.random_n
+    if payload.shm_name is None:
+        moments = payload.moments
+        acc._fixed.sums[:] = moments[0]
+        acc._random.sums[:] = moments[1]
+        return acc
+    from multiprocessing import shared_memory
+
+    shm = shared_memory.SharedMemory(name=payload.shm_name)
+    try:
+        moments = np.ndarray(
+            (2, 6, payload.n_samples), np.float64, buffer=shm.buf
+        )
+        acc._fixed.sums[:] = moments[0]
+        acc._random.sums[:] = moments[1]
+    finally:
+        shm.close()
+        shm.unlink()
+    return acc
+
+
+@dataclass
+class SharedTraceBuffer:
+    """A raw ``(n_traces, n_samples)`` power matrix in shared memory.
+
+    Opt-in path for runners that need the traces themselves (CPA
+    attacks, trace dumps) rather than the accumulator: the producer
+    :meth:`publish`-es a matrix, ships this handle (a name and a
+    shape) through the pipe, and the consumer :meth:`materialise`-s it.
+    """
+
+    shm_name: str
+    shape: Tuple[int, int]
+    dtype_str: str
+
+    @classmethod
+    def publish(cls, traces: np.ndarray) -> "SharedTraceBuffer":
+        """Copy ``traces`` into a fresh segment (producer side)."""
+        from multiprocessing import resource_tracker, shared_memory
+
+        traces = np.ascontiguousarray(traces)
+        shm = shared_memory.SharedMemory(create=True, size=traces.nbytes)
+        np.ndarray(traces.shape, traces.dtype, buffer=shm.buf)[:] = traces
+        name = shm.name
+        shm.close()
+        try:  # pragma: no cover - see pack_shard
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:
+            pass
+        return cls(
+            shm_name=name,
+            shape=tuple(traces.shape),
+            dtype_str=traces.dtype.str,
+        )
+
+    def materialise(self) -> np.ndarray:
+        """Copy the matrix out and release the segment (consumer side)."""
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(name=self.shm_name)
+        try:
+            return np.ndarray(
+                self.shape, np.dtype(self.dtype_str), buffer=shm.buf
+            ).copy()
+        finally:
+            shm.close()
+            shm.unlink()
+
+    def discard(self) -> None:
+        """Release the segment without reading it."""
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(name=self.shm_name)
+        shm.close()
+        shm.unlink()

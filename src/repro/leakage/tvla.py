@@ -22,9 +22,12 @@ same time indexes across tests with different fixed plaintexts*.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .stats import CampaignStats
 
 __all__ = [
     "TTestAccumulator",
@@ -64,6 +67,10 @@ class _ClassMoments:
         self.sums = np.zeros((6, int(n_samples)), dtype=np.float64)
 
     def update(self, traces: np.ndarray) -> None:
+        # Power is recorded in float32 (repro.sim.power); the cast here
+        # is the float32 -> float64 boundary, and everything downstream
+        # (powers, sums, merges) stays float64 — the shard-merge
+        # bitwise-equality contract depends on it.
         x = traces.astype(np.float64, copy=False)
         self.n += x.shape[0]
         p = x
@@ -151,6 +158,15 @@ class TTestAccumulator:
                 f"cannot merge accumulators with {other.n_samples} and "
                 f"{self.n_samples} samples"
             )
+        if (
+            other._fixed.sums.dtype != np.float64
+            or other._random.sums.dtype != np.float64
+        ):  # pragma: no cover - guards hand-built shards
+            raise TypeError(
+                "shard moments must be float64 (raw-moment precision is "
+                "part of the bitwise-reproducibility contract), got "
+                f"{other._fixed.sums.dtype}/{other._random.sums.dtype}"
+            )
         self._fixed.n += other._fixed.n
         self._fixed.sums += other._fixed.sums
         self._random.n += other._random.n
@@ -208,25 +224,34 @@ class TTestAccumulator:
         (ma, va, na), (mb, vb, nb) = out
         return welch_t(ma, va, na, mb, vb, nb)
 
-    def result(self, label: str = "") -> "TvlaResult":
+    def result(
+        self, label: str = "", stats: "Optional[CampaignStats]" = None
+    ) -> "TvlaResult":
         return TvlaResult(
             label=label,
             n_traces=self.n_traces,
             t1=self.t_stats(1),
             t2=self.t_stats(2),
             t3=self.t_stats(3),
+            stats=stats,
         )
 
 
 @dataclass
 class TvlaResult:
-    """Orders 1..3 t-statistics of one fixed-vs-random test."""
+    """Orders 1..3 t-statistics of one fixed-vs-random test.
+
+    ``stats`` carries the acquisition observability
+    (:class:`repro.leakage.stats.CampaignStats`) when the result came
+    from a campaign runner; it never affects the statistics.
+    """
 
     label: str
     n_traces: int
     t1: np.ndarray
     t2: np.ndarray
     t3: np.ndarray
+    stats: "Optional[CampaignStats]" = None
 
     def max_abs(self, order: int = 1) -> float:
         return float(np.max(np.abs(self._t(order)))) if self._t(order).size else 0.0

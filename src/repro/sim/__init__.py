@@ -6,7 +6,15 @@ transitions *are* the glitches the paper reasons about, and a
 toggle-count power model whose traces feed TVLA.
 """
 
-from .compiled import CompiledSchedule, compile_schedule, schedule_cache_info
+from .compiled import (
+    CompiledSchedule,
+    StaleScheduleError,
+    compile_schedule,
+    pin_schedule_cache,
+    schedule_cache_counters,
+    schedule_cache_info,
+    unpin_schedule_cache,
+)
 from .power import CouplingModel, NullRecorder, PowerRecorder, default_weights
 from .simulator import ScalarSimulator, Waveform
 from .vectorsim import InputEvent, SimulationError, VectorSimulator
@@ -15,8 +23,12 @@ from .vcd import to_vcd
 
 __all__ = [
     "CompiledSchedule",
+    "StaleScheduleError",
     "compile_schedule",
+    "pin_schedule_cache",
+    "schedule_cache_counters",
     "schedule_cache_info",
+    "unpin_schedule_cache",
     "CouplingModel",
     "NullRecorder",
     "PowerRecorder",

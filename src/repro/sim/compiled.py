@@ -46,22 +46,46 @@ jitter is baked into the gate delays at build time, so a compiled
 schedule stays valid for the lifetime of a build, exactly like a
 placed-and-routed bitstream; a delay edit (a fault-perturbed copy from
 :mod:`repro.faults`) changes the token and starts from an empty cache.
+
+Process model
+-------------
+The cache lives in a module-level registry keyed by circuit *identity*
+(a ``WeakKeyDictionary``), never as circuit state.  That makes it
+
+* **fork-safe** — a forked campaign worker inherits the parent's warm
+  cache through copy-on-write memory, so batches replay instead of
+  recompiling (see :func:`repro.leakage.acquisition._init_worker`);
+* **spawn-safe** — pickling a circuit (e.g. the trace source shipped
+  to a ``spawn`` pool) never drags compiled programs, which hold
+  unpicklable numpy/closure state, through the pickle stream; a
+  spawned worker simply starts cold and warms itself once.
+
+Campaign runners can :func:`pin_schedule_cache` a warmed circuit: any
+structural edit afterwards makes the next lookup raise
+:class:`StaleScheduleError` instead of silently recompiling — a
+mid-campaign netlist edit is a bug (the shards would mix two different
+devices), not a cache miss.
 """
 
 from __future__ import annotations
 
 import heapq
+import weakref
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 __all__ = [
     "CompiledSchedule",
+    "StaleScheduleError",
     "compile_schedule",
     "lookup_or_compile",
     "schedule_cache_info",
+    "schedule_cache_counters",
+    "pin_schedule_cache",
+    "unpin_schedule_cache",
     "replay",
 ]
 
@@ -255,8 +279,39 @@ def compile_schedule(
 
 
 # ----------------------------------------------------------------------
-# per-circuit cache
+# per-circuit cache (process-local registry)
 # ----------------------------------------------------------------------
+class StaleScheduleError(RuntimeError):
+    """A pinned schedule cache was invalidated by a structural edit.
+
+    Raised by :func:`lookup_or_compile` when a circuit that was pinned
+    (typically by a campaign warm-up) no longer matches its structural
+    token: silently recompiling would let a campaign mix shards from
+    two *different* devices under test.
+    """
+
+
+@dataclass
+class _CircuitCache:
+    """Schedule cache of one circuit build, plus usage counters."""
+
+    token: Tuple
+    programs: "OrderedDict" = field(default_factory=OrderedDict)
+    hits: int = 0
+    compiles: int = 0
+    pinned: bool = False
+
+
+#: circuit identity -> its schedule cache.  Keyed weakly so dropping a
+#: circuit drops its programs; never stored on the circuit itself (see
+#: "Process model" in the module docstring).
+_CACHES: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+#: Per-process totals across all circuits.  Campaign workers snapshot
+#: these around each batch to report compile-vs-replay behaviour.
+_COUNTERS = {"hits": 0, "compiles": 0}
+
+
 def _structural_token(circuit):
     token = getattr(circuit, "structural_token", None)
     if token is not None:
@@ -264,14 +319,21 @@ def _structural_token(circuit):
     return (len(circuit.gates), circuit.n_wires)  # pragma: no cover
 
 
-def _cache_for(circuit) -> "OrderedDict":
+def _cache_for(circuit) -> _CircuitCache:
     """The circuit's schedule cache, invalidated on structural change."""
     token = _structural_token(circuit)
-    cache = getattr(circuit, "_compiled_schedule_cache", None)
-    if cache is None or cache[0] != token:
-        cache = (token, OrderedDict())
-        circuit._compiled_schedule_cache = cache
-    return cache[1]
+    cache = _CACHES.get(circuit)
+    if cache is None or cache.token != token:
+        if cache is not None and cache.pinned:
+            raise StaleScheduleError(
+                f"circuit {getattr(circuit, 'name', '?')!r} was "
+                "structurally edited after its schedule cache was pinned "
+                "(mid-campaign netlist edit?); refusing to recompile — "
+                "unpin_schedule_cache() to accept the new structure"
+            )
+        cache = _CircuitCache(token)
+        _CACHES[circuit] = cache
+    return cache
 
 
 def lookup_or_compile(
@@ -283,32 +345,79 @@ def lookup_or_compile(
 
     Failed compilations are cached too, so a pathological pattern costs
     the compile attempt only once.
+
+    Raises:
+        StaleScheduleError: The circuit's cache is pinned and its
+            structural token no longer matches (see
+            :func:`pin_schedule_cache`).
     """
     cache = _cache_for(circuit)
-    if pattern in cache:
-        cache.move_to_end(pattern)
-        return cache[pattern]
+    programs = cache.programs
+    if pattern in programs:
+        programs.move_to_end(pattern)
+        cache.hits += 1
+        _COUNTERS["hits"] += 1
+        return programs[pattern]
     schedule = compile_schedule(circuit, comb_fanout, pattern)
-    cache[pattern] = schedule
-    if len(cache) > _CACHE_CAPACITY:
-        cache.popitem(last=False)
+    cache.compiles += 1
+    _COUNTERS["compiles"] += 1
+    programs[pattern] = schedule
+    if len(programs) > _CACHE_CAPACITY:
+        programs.popitem(last=False)
     return schedule
 
 
-def schedule_cache_info(circuit) -> Dict[str, int]:
-    """Diagnostics: number of cached patterns / compiled programs.
+def pin_schedule_cache(circuit) -> None:
+    """Pin the circuit's (possibly still empty) schedule cache.
 
-    A cache built for an older structure of the circuit counts as
-    empty (it will be dropped on the next lookup).
+    After pinning, a structural edit of the circuit turns the next
+    :func:`lookup_or_compile` into a :class:`StaleScheduleError` instead
+    of a silent recompile.  Campaign warm-ups pin the circuits they
+    warmed so a mid-campaign netlist edit cannot produce shards of two
+    different devices.
     """
-    cache = getattr(circuit, "_compiled_schedule_cache", None)
-    if cache is None or cache[0] != _structural_token(circuit):
-        return {"patterns": 0, "compiled": 0}
-    programs = cache[1]
+    _cache_for(circuit).pinned = True
+
+
+def unpin_schedule_cache(circuit) -> None:
+    """Undo :func:`pin_schedule_cache` (no-op if never pinned)."""
+    cache = _CACHES.get(circuit)
+    if cache is not None:
+        cache.pinned = False
+
+
+def schedule_cache_info(circuit) -> Dict[str, int]:
+    """Diagnostics: cached patterns / programs and usage counters.
+
+    Returns ``patterns`` (cached timing patterns), ``compiled``
+    (patterns with a compiled program; the rest fell back to the
+    interpreter), ``hits`` / ``compiles`` (lifetime lookup counters of
+    this build) and ``pinned``.  A cache built for an older structure
+    of the circuit counts as empty (it will be dropped — or, if pinned,
+    refused — on the next lookup).
+    """
+    cache = _CACHES.get(circuit)
+    if cache is None or cache.token != _structural_token(circuit):
+        return {"patterns": 0, "compiled": 0, "hits": 0, "compiles": 0,
+                "pinned": False}
     return {
-        "patterns": len(programs),
-        "compiled": sum(1 for s in programs.values() if s is not None),
+        "patterns": len(cache.programs),
+        "compiled": sum(1 for s in cache.programs.values() if s is not None),
+        "hits": cache.hits,
+        "compiles": cache.compiles,
+        "pinned": cache.pinned,
     }
+
+
+def schedule_cache_counters() -> Dict[str, int]:
+    """Per-process totals: schedule-cache ``hits`` and ``compiles``.
+
+    Campaign workers snapshot this before and after each batch; the
+    deltas travel back with the shard, so
+    :class:`repro.leakage.stats.CampaignStats` can prove that workers
+    replayed warm schedules instead of recompiling them.
+    """
+    return dict(_COUNTERS)
 
 
 # ----------------------------------------------------------------------

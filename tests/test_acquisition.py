@@ -1,11 +1,14 @@
 """Unit tests for the fixed-vs-random acquisition harness."""
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.leakage.acquisition import (
     CampaignBatchError,
     CampaignConfig,
+    OversubscriptionWarning,
     detect_leakage_traces,
     run_campaign,
     run_multi_fixed,
@@ -224,3 +227,88 @@ def test_multi_fixed_parallel_matches_serial():
     )
     for a, b in zip(serial, par):
         assert np.array_equal(a.t1, b.t1)
+
+
+# ----------------------------------------------------------------------
+# start methods, warm-up and schedule pinning
+# ----------------------------------------------------------------------
+def test_spawn_campaign_bitwise_equals_serial():
+    """The pool result must not depend on the process start method.
+
+    ``spawn`` re-pickles the source into cold workers (nothing is
+    inherited from the parent), which exercises the whole transport and
+    warm-up path from scratch — the t-statistics must still be bitwise
+    identical to the serial run.
+    """
+    import multiprocessing
+
+    if "spawn" not in multiprocessing.get_all_start_methods():
+        pytest.skip("spawn start method unavailable")
+    cfg = CampaignConfig(
+        n_traces=2000, batch_size=500, noise_sigma=1.0, seed=21,
+        start_method="spawn",
+    )
+    serial = run_campaign(SyntheticSource(leak=0.4), cfg, n_workers=1)
+    with pytest.warns(OversubscriptionWarning) if (os.cpu_count() or 1) < 2 \
+            else _nullcontext():
+        parallel = run_campaign(SyntheticSource(leak=0.4), cfg, n_workers=2)
+    assert parallel.stats.start_method == "spawn"
+    assert np.array_equal(serial.t1, parallel.t1)
+    assert np.array_equal(serial.t2, parallel.t2)
+    assert np.array_equal(serial.t3, parallel.t3)
+
+
+def _nullcontext():
+    import contextlib
+
+    return contextlib.nullcontext()
+
+
+def test_forked_workers_replay_inherited_schedules():
+    """Fork pool workers must hit the parent-warmed schedule cache.
+
+    The campaign warms (and pins) the source's circuits in the parent
+    before forking, so the per-batch cache counters measured inside the
+    workers must show replays and zero compiles — recompiling per
+    worker was the v1 regression.
+    """
+    import multiprocessing
+
+    from repro.core.sequences import SequenceSource
+
+    if "fork" not in multiprocessing.get_all_start_methods():
+        pytest.skip("fork start method unavailable")
+    source = SequenceSource(("x0", "x1", "y0", "y1"), n_instances=2)
+    cfg = CampaignConfig(
+        n_traces=800, batch_size=200, noise_sigma=1.0, seed=9,
+        start_method="fork",
+    )
+    with pytest.warns(OversubscriptionWarning) if (os.cpu_count() or 1) < 2 \
+            else _nullcontext():
+        res = run_campaign(source, cfg, n_workers=2)
+    stats = res.stats
+    assert stats.start_method == "fork"
+    assert stats.warmup_seconds > 0  # parent-side warm-up ran
+    assert stats.schedule_compiles == 0  # no per-worker recompiles
+    assert stats.schedule_replays >= stats.n_batches
+
+
+def test_structural_edit_after_warmup_raises_stale_schedule():
+    """A pinned circuit must refuse structural edits, loudly.
+
+    ``warmup()`` pins the schedule cache for the campaign; editing the
+    circuit afterwards and acquiring again must raise StaleScheduleError
+    instead of silently recompiling (= silently simulating a different
+    device mid-campaign).
+    """
+    from repro.core.sequences import SequenceSource
+    from repro.leakage.acquisition import _warm_source
+    from repro.sim.compiled import StaleScheduleError, unpin_schedule_cache
+
+    source = SequenceSource(("x0", "x1", "y0", "y1"), n_instances=1)
+    assert _warm_source(source) > 0
+    source.circuit.inv(source.circuit.wire("x0"))  # structural edit
+    with pytest.raises(StaleScheduleError):
+        source.acquire(np.ones(4, dtype=bool), np.random.default_rng(0))
+    unpin_schedule_cache(source.circuit)  # unpinned: edits allowed again
+    source.acquire(np.ones(4, dtype=bool), np.random.default_rng(0))

@@ -203,14 +203,17 @@ def test_jittered_pd_gadget_equality():
 
 def test_compiled_path_populates_cache():
     c = build_secand2(n_instances=2)
-    assert schedule_cache_info(c) == {"patterns": 0, "compiled": 0}
+    info = schedule_cache_info(c)
+    assert info["patterns"] == 0 and info["compiled"] == 0
     sim = VectorSimulator(c, 8)
     sim.settle([(0, c.wire("x0"), True)])
     info = schedule_cache_info(c)
     assert info["patterns"] == 1 and info["compiled"] == 1
+    assert info["compiles"] == 1 and info["hits"] == 0
     # same pattern again: cache hit, no new entry
     sim.settle([(0, c.wire("x0"), False)])
-    assert schedule_cache_info(c)["patterns"] == 1
+    info = schedule_cache_info(c)
+    assert info["patterns"] == 1 and info["hits"] == 1
     # different timing pattern: new entry
     sim.settle([(100, c.wire("x0"), True)])
     assert schedule_cache_info(c)["patterns"] == 2
@@ -222,7 +225,8 @@ def test_cache_invalidated_on_structural_change():
     sim.settle([(0, c.wire("x0"), True)])
     assert schedule_cache_info(c)["patterns"] == 1
     c.inv(c.wire("x0"))  # structural edit: new gate + wire
-    assert schedule_cache_info(c) == {"patterns": 0, "compiled": 0}
+    info = schedule_cache_info(c)
+    assert info["patterns"] == 0 and info["compiled"] == 0
 
 
 def test_budget_error_parity():

@@ -15,7 +15,7 @@ from repro.eval.report import render_table, rule, sparkline, tvla_panel
 def test_registry_covers_every_table_and_figure():
     assert set(EXPERIMENTS) == {
         "table1", "table2", "table3", "fig13", "fig14", "fig15", "fig16",
-        "fig17", "fault_sweep",
+        "fig17", "fault_sweep", "bench",
     }
 
 

@@ -201,3 +201,45 @@ def test_merge_empty_shard_is_identity():
     before = acc.t_stats(1).copy()
     acc.merge(TTestAccumulator(3))
     assert np.array_equal(acc.t_stats(1), before)
+
+
+# ----------------------------------------------------------------------
+# float64 precision contract (parallel-campaign bitwise guarantee)
+# ----------------------------------------------------------------------
+def test_100k_trace_shard_merge_bitwise_equals_serial():
+    """100 shards x 1000 traces: merging equals the serial batch loop.
+
+    This is the precision contract behind ``run_campaign(n_workers=k)``:
+    per-batch shards merged in batch order perform exactly the float64
+    additions the serial accumulator performs batch by batch, so at
+    100k traces the raw sums — and every derived t-statistic — are
+    bitwise identical, not merely close.
+    """
+    n_samples = 16
+    serial = TTestAccumulator(n_samples)
+    merged = TTestAccumulator(n_samples)
+    for i in range(100):
+        r = np.random.default_rng([17, i])
+        traces = r.normal(10.0, 2.0, (1000, n_samples)).astype(np.float32)
+        mask = r.integers(0, 2, 1000).astype(bool)
+        serial.update(traces, mask)
+        shard = TTestAccumulator(n_samples)
+        shard.update(traces, mask)
+        merged.merge(shard)
+    assert serial.n_traces == merged.n_traces == 100_000
+    # the accumulation is float64 end to end ...
+    for acc in (serial, merged):
+        assert acc._fixed.sums.dtype == np.float64
+        assert acc._random.sums.dtype == np.float64
+    # ... and the shard-merge is exact, raw sums through t-statistics
+    assert np.array_equal(serial._fixed.sums, merged._fixed.sums)
+    assert np.array_equal(serial._random.sums, merged._random.sums)
+    for order in (1, 2, 3):
+        assert np.array_equal(serial.t_stats(order), merged.t_stats(order))
+
+
+def test_merge_rejects_non_float64_shard():
+    shard = TTestAccumulator(4)
+    shard._fixed.sums = shard._fixed.sums.astype(np.float32)
+    with pytest.raises(TypeError, match="float64"):
+        TTestAccumulator(4).merge(shard)
