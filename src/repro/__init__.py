@@ -24,10 +24,14 @@ Package map
 ``repro.attacks``
     CPA key recovery (orders 1 and 2) against the engines — the
     executable form of the paper's security argument.
+``repro.verify``
+    Exact glitch-extended probing verification: enumerate all input
+    assignments, tabulate every wire's transient distribution, decide
+    first-order security with an integer independence test.
 """
 
-from . import aes, attacks, core, des, eval, leakage, netlist, present, sim
+from . import aes, attacks, core, des, eval, leakage, netlist, present, sim, verify
 
 __version__ = "1.0.0"
 
-__all__ = ["aes", "attacks", "core", "des", "eval", "leakage", "netlist", "present", "sim", "__version__"]
+__all__ = ["aes", "attacks", "core", "des", "eval", "leakage", "netlist", "present", "sim", "verify", "__version__"]

@@ -8,6 +8,10 @@ Examples::
     python -m repro --list
     python -m repro table3
     python -m repro table1 fig14 --quick
+    python -m repro verify --preset secand2_pd
+
+``verify`` is a subcommand with its own flags
+(:mod:`repro.verify.cli`); everything else is an experiment id.
 """
 
 from __future__ import annotations
@@ -39,6 +43,13 @@ _QUICK_KWARGS = {
 
 
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "verify":
+        from .verify.cli import main as verify_main
+
+        return verify_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="python -m repro", description=__doc__
     )
@@ -51,6 +62,7 @@ def main(argv=None) -> int:
         print("available experiments:")
         for name in EXPERIMENTS:
             print(f"  {name}")
+        print("  verify  (subcommand: python -m repro verify --help)")
         return 0
 
     for name in args.experiments:

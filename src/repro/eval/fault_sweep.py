@@ -12,6 +12,11 @@ collapsed at the leakage onset.
 
 The sweep covers the gadget bank (full TVLA per sigma) and the masked
 DES core (static margins per sigma; TVLA optional via ``des_traces``).
+
+``metric="verify"`` swaps the dynamic oracle: instead of sampling a
+t-score per sigma, the exact verifier (:mod:`repro.verify`) counts the
+leaking glitch-extended probes of the faulted bank — the same
+margin-erosion story with zero sampling noise.
 """
 
 from __future__ import annotations
@@ -82,10 +87,29 @@ def run(
     des_sigmas: Optional[Sequence[float]] = None,
     des_traces: int = 0,
     n_workers: int = 1,
-) -> FaultSweepReport:
+    metric: str = "tvla",
+):
     """Run the sweep.  ``des_traces=0`` keeps the DES half static-only
     (its hundreds of secAND2 sites make the static report the
-    interesting part); ``include_des=False`` skips it entirely."""
+    interesting part); ``include_des=False`` skips it entirely.
+
+    ``metric`` picks the dynamic oracle: ``"tvla"`` (default) samples
+    t-scores per sigma; ``"verify"`` counts exact leaking probes
+    instead and returns a
+    :class:`~repro.verify.report.VerifyFaultSweepResult` (the TVLA
+    trace parameters are ignored — exactness needs no budget).
+    """
+    if metric == "verify":
+        from ..verify import verify_fault_sweep
+
+        return verify_fault_sweep(
+            sigmas=sigmas,
+            fault_seed=fault_seed,
+            n_instances=n_instances,
+            n_luts=n_luts,
+        )
+    if metric != "tvla":
+        raise ValueError(f"metric must be 'tvla' or 'verify', got {metric!r}")
     bank = margin_erosion_sweep(
         sigmas,
         n_instances=n_instances,

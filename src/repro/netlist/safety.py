@@ -17,7 +17,7 @@ violations at a 1-LUT DelayUnit, none at 10 LUTs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from .circuit import Circuit
 from .timing import arrival_times
@@ -57,6 +57,31 @@ class OrderingViolation:
         )
 
 
+def _core_arrivals(
+    circuit: Circuit, at: Dict[int, int], g: Dict
+) -> Optional[Tuple[int, int, int, int]]:
+    """Arrival times of one core's operands, or ``None`` to skip it.
+
+    Arrival *order* is only meaningful for operands that actually
+    transition.  A core is skipped when an operand wire is constant
+    (driven by a stuck-at fault cell — it never toggles after its first
+    evaluation) or floating (a non-input wire with no driver, hence no
+    entry in the arrival map): such a core has no ordering to violate,
+    and the previous silent ``0 ps`` fallback mis-reported it as an
+    early-arriving share.
+    """
+    arrivals = []
+    for pin in ("x0", "x1", "y0", "y1"):
+        w = g[pin]
+        if w not in at:
+            return None
+        drv = circuit.driver_of(w)
+        if drv is not None and drv.cell.name.startswith("STUCK"):
+            return None
+        arrivals.append(at[w])
+    return tuple(arrivals)
+
+
 def check_secand2_ordering(
     circuit: Circuit,
     min_margin_ps: int = 0,
@@ -80,10 +105,10 @@ def check_secand2_ordering(
     at = arrival_times(circuit)
     violations: List[OrderingViolation] = []
     for g in gadgets:
-        ax0 = at.get(g["x0"], 0)
-        ax1 = at.get(g["x1"], 0)
-        ay0 = at.get(g["y0"], 0)
-        ay1 = at.get(g["y1"], 0)
+        arrivals = _core_arrivals(circuit, at, g)
+        if arrivals is None:
+            continue
+        ax0, ax1, ay0, ay1 = arrivals
         x_last = max(ax0, ax1)
         if ay1 - x_last < max(1, min_margin_ps):
             violations.append(
@@ -156,10 +181,10 @@ def ordering_margins(circuit: Circuit) -> List[OrderingMargin]:
     at = arrival_times(circuit)
     out: List[OrderingMargin] = []
     for g in gadgets:
-        ax0 = at.get(g["x0"], 0)
-        ax1 = at.get(g["x1"], 0)
-        ay0 = at.get(g["y0"], 0)
-        ay1 = at.get(g["y1"], 0)
+        arrivals = _core_arrivals(circuit, at, g)
+        if arrivals is None:
+            continue
+        ax0, ax1, ay0, ay1 = arrivals
         out.append(
             OrderingMargin(
                 gadget=g["tag"],
@@ -175,8 +200,9 @@ def ordering_margins(circuit: Circuit) -> List[OrderingMargin]:
 
 
 def min_ordering_margin(circuit: Circuit) -> Optional[OrderingMargin]:
-    """The gadget with the smallest worst-case margin (None if no
-    secAND2 annotations are present)."""
+    """The gadget with the smallest worst-case margin (None if the
+    circuit has no secAND2 annotations, or every core was skipped for
+    constant/floating operands)."""
     margins = ordering_margins(circuit)
     if not margins:
         return None

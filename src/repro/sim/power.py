@@ -31,7 +31,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["CouplingModel", "PowerRecorder", "NullRecorder", "default_weights"]
+__all__ = [
+    "CouplingModel",
+    "PowerRecorder",
+    "NullRecorder",
+    "TransientRecorder",
+    "default_weights",
+]
 
 
 @dataclass
@@ -168,6 +174,46 @@ class PowerRecorder:
     def samples(self) -> np.ndarray:
         """Alias of :attr:`power` (TVLA vocabulary)."""
         return self._power
+
+
+class TransientRecorder:
+    """Captures every wire transition verbatim instead of binning energy.
+
+    Where :class:`PowerRecorder` collapses transitions into a power
+    trace, this recorder keeps the full ``(time, wire, toggled, new)``
+    event stream — the raw material of a *glitch-extended probe*
+    (:mod:`repro.verify`): the complete transient value sequence each
+    wire takes while the logic settles.
+
+    Only the interpreted simulation path emits per-wire transitions
+    (``compile_schedules=False``); the compiled replay engine pre-sums
+    energy across wires, which destroys exactly the information this
+    recorder exists to keep, so :meth:`add_energy` refuses to run.
+    """
+
+    def __init__(self) -> None:
+        #: ``(t_ps, wire, toggled, new)`` in simulation order; ``toggled``
+        #: and ``new`` are per-trace boolean arrays (copies).
+        self.events: List[Tuple[float, int, np.ndarray, np.ndarray]] = []
+
+    def record_wire(
+        self, t_ps, wire: int, toggled: np.ndarray, new: np.ndarray
+    ) -> None:
+        self.events.append((t_ps, int(wire), toggled.copy(), new.copy()))
+
+    def record_batch(
+        self, t_ps: int, changes: Dict[int, Tuple[np.ndarray, np.ndarray]]
+    ) -> None:
+        for wire, (old, new) in changes.items():
+            toggled = old ^ new
+            if toggled.any():
+                self.record_wire(t_ps, wire, toggled, new)
+
+    def add_energy(self, t_ps, energy) -> None:
+        raise RuntimeError(
+            "TransientRecorder needs per-wire transitions; run the "
+            "simulator with compile_schedules=False"
+        )
 
 
 class NullRecorder:

@@ -1,0 +1,201 @@
+"""Command line for the exact verifier: ``python -m repro verify``.
+
+Examples::
+
+    python -m repro verify --list-presets
+    python -m repro verify --preset secand2_pd --quick
+    python -m repro verify --preset secand2_pd_y1_early --vcd leak.vcd
+    python -m repro verify --all --json VERIFY_report.json
+    python -m repro verify --fault-sweep --sigmas 0,300,600
+
+Exit status is 0 when every verified gadget matches its paper-predicted
+verdict (``Preset.expect_secure``), 1 on any mismatch, 2 on usage
+errors — so CI can gate on "the verifier still reproduces the paper's
+qualitative results" rather than merely "the verifier ran".
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import List, Optional
+
+from .presets import PRESETS, preset_spec
+from .probes import MAX_INPUT_BITS, VerificationBudgetError
+from .report import counterexample_vcd, verify, verify_fault_sweep
+
+_RULE = "-" * 64
+
+
+def _parse_sigmas(text: str) -> List[float]:
+    try:
+        return [float(s) for s in text.split(",") if s.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--sigmas wants a comma-separated list of numbers, got {text!r}"
+        ) from None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro verify",
+        description="Exact first-order glitch-extended probing verification",
+    )
+    parser.add_argument(
+        "--preset",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="gadget preset to verify (repeatable; see --list-presets)",
+    )
+    parser.add_argument(
+        "--all", action="store_true", help="verify every preset"
+    )
+    parser.add_argument(
+        "--list-presets",
+        action="store_true",
+        help="list presets with their expected verdicts",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smoke budgets (smaller fault-sweep bank and sigma ladder)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="write a machine-readable report to PATH",
+    )
+    parser.add_argument(
+        "--vcd",
+        metavar="PATH",
+        help="dump the first leaking probe's counterexample waveform",
+    )
+    parser.add_argument(
+        "--fault-sweep",
+        action="store_true",
+        help="exact delay-variation sweep on the secAND2-PD bank "
+        "(leaking-probe counts vs static violations per sigma)",
+    )
+    parser.add_argument(
+        "--sigmas",
+        type=_parse_sigmas,
+        default=None,
+        metavar="CSV",
+        help="fault-sweep sigma ladder in ps (default 0,150,300,450,600)",
+    )
+    parser.add_argument(
+        "--max-input-bits",
+        type=int,
+        default=MAX_INPUT_BITS,
+        metavar="N",
+        help=f"enumeration budget in input bits (default {MAX_INPUT_BITS})",
+    )
+    return parser
+
+
+def _list_presets() -> None:
+    print("available presets:")
+    width = max(len(name) for name in PRESETS)
+    for preset in PRESETS.values():
+        expect = {True: "secure", False: "leaks ", None: "  ?   "}[
+            preset.expect_secure
+        ]
+        print(f"  {preset.name:<{width}}  [{expect}]  {preset.note}")
+
+
+def _run_fault_sweep(args, report: dict) -> int:
+    kwargs = {"max_input_bits": args.max_input_bits}
+    if args.sigmas is not None:
+        kwargs["sigmas"] = args.sigmas
+    elif args.quick:
+        kwargs["sigmas"] = [0, 300, 600]
+    if args.quick:
+        kwargs.update(n_instances=2, n_luts=1)
+    sweep = verify_fault_sweep(**kwargs)
+    print(sweep.render())
+    report["fault_sweep"] = sweep.to_json_dict()
+    if not sweep.clean_at_zero:
+        print("FAIL: unfaulted bank should be clean at sigma=0")
+        return 1
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_presets:
+        _list_presets()
+        return 0
+
+    names = list(PRESETS) if args.all else list(args.preset)
+    if not names and not args.fault_sweep:
+        parser.print_usage(sys.stderr)
+        print(
+            "error: pick --preset NAME, --all, --fault-sweep or "
+            "--list-presets",
+            file=sys.stderr,
+        )
+        return 2
+
+    report: dict = {"schema": "verify_cli/v1", "results": []}
+    status = 0
+    vcd_written = False
+    t0 = time.time()
+    for name in names:
+        if name not in PRESETS:
+            print(f"unknown preset {name!r}; use --list-presets", file=sys.stderr)
+            return 2
+        preset = PRESETS[name]
+        print(_RULE)
+        try:
+            result = verify(preset_spec(name), max_input_bits=args.max_input_bits)
+        except VerificationBudgetError as err:
+            print(f"{name}: SKIPPED ({err})")
+            report["results"].append({"gadget": name, "skipped": str(err)})
+            continue
+        print(result.render())
+        matched = (
+            preset.expect_secure is None
+            or result.secure == preset.expect_secure
+        )
+        if not matched:
+            expected = "secure" if preset.expect_secure else "leaky"
+            print(f"  MISMATCH: paper predicts {expected}")
+            status = 1
+        entry = result.to_json_dict()
+        entry["expect_secure"] = preset.expect_secure
+        entry["matched"] = matched
+        report["results"].append(entry)
+        if args.vcd and result.leaks and not vcd_written:
+            with open(args.vcd, "w") as fh:
+                fh.write(counterexample_vcd(preset_spec(name), result.leaks[0]))
+            print(f"  counterexample VCD -> {args.vcd}")
+            vcd_written = True
+
+    if args.fault_sweep:
+        print(_RULE)
+        status = max(status, _run_fault_sweep(args, report))
+
+    if names:
+        print(_RULE)
+        n_ok = sum(1 for r in report["results"] if r.get("matched"))
+        print(
+            f"{n_ok}/{len(names)} verdicts match the paper "
+            f"[{time.time() - t0:.1f}s]"
+        )
+    if args.vcd and not vcd_written:
+        print(f"no leaking probe found; {args.vcd} not written")
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=2)
+        print(f"report -> {args.json}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,296 @@
+"""Gadget presets for ``python -m repro verify``.
+
+Each preset packages a circuit from :mod:`repro.core` with its masking
+semantics and input schedule as a :class:`~repro.verify.probes.
+GadgetSpec`, plus the verdict the paper (or the construction's own
+security proof) predicts:
+
+* the raw secAND2 under a *good* (y1 last — Table I safe) and a *bad*
+  (x0 last — Table I leak) input sequence;
+* secAND2-FF (Fig. 2, two cycles) and secAND2-PD (Fig. 3, DelayUnits)
+  — the paper's constructions, both expected exactly secure;
+* a deliberately mis-scheduled PD variant (``y1`` DelayUnit shorter
+  than the x shares') reproducing the Table I leak through the fault
+  path the delay-variation sweep erodes;
+* the baselines: Trichina under late-x arrival (the Sec. II problem
+  statement), DOM-indep and 3-share TI (register layers, provably
+  secure);
+* the Sec. III-C composition lesson: ``f = x ^ y ^ x.y`` with and
+  without the mandatory refresh, and the Table II 3-variable PD chain.
+
+Expectations are *claims checked by tests*, not inputs to the
+verifier; ``expect_secure=None`` marks presets we verify without a
+paper-anchored prediction.  Two composition presets are expected to
+*fail* exact verification while staying quiet under first-order TVLA
+(``insecure_f_xy``, ``pchain3_pd``): their biased probes sit
+symmetrically on the two output shares, so the toggle-rate differences
+cancel in the summed power trace and only reappear at second order —
+the glitch-extended probing model is strictly stronger than aggregate
+first-order power analysis (see ``docs/verification.md``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from ..core.baselines import ShareTriple, build_dom_indep, build_trichina, ti_and3
+from ..core.composition import insecure_f_xy, product_chain_pd, secure_f_xy
+from ..core.gadgets import (
+    SharePair,
+    build_secand2,
+    build_secand2_ff,
+    build_secand2_pd,
+    secand2_pd,
+)
+from ..netlist.circuit import Circuit
+from .probes import GadgetSpec
+
+__all__ = ["Preset", "PRESETS", "preset_spec", "pd_bank_spec"]
+
+#: Spacing between successive input arrivals in sequenced presets —
+#: comfortably above every gate delay, so "arrives later" is decisive.
+_STEP_PS = 1000
+
+_XY_SECRETS = (("x", ("x0", "x1")), ("y", ("y0", "y1")))
+
+
+def _sequence(*names: str) -> Tuple[Tuple[str, int], ...]:
+    return tuple((name, i * _STEP_PS) for i, name in enumerate(names))
+
+
+def _secand2_seq_spec(name: str, order: Tuple[str, ...]) -> GadgetSpec:
+    return GadgetSpec(
+        name=name,
+        circuit=build_secand2(),
+        secrets=_XY_SECRETS,
+        schedule=_sequence(*order),
+    )
+
+
+def _secand2_ff_spec() -> GadgetSpec:
+    return GadgetSpec(
+        name="secand2_ff",
+        circuit=build_secand2_ff(),
+        secrets=_XY_SECRETS,
+        n_cycles=2,
+    )
+
+
+def _secand2_pd_spec(n_luts: int = 2) -> GadgetSpec:
+    return GadgetSpec(
+        name="secand2_pd",
+        circuit=build_secand2_pd(n_luts=n_luts),
+        secrets=_XY_SECRETS,
+    )
+
+
+def _secand2_pd_y1_early_spec(n_luts: int = 2) -> GadgetSpec:
+    """PD delay schedule with the y1 DelayUnit too short: the x shares
+    arrive *after* y1 — exactly the Table I leak condition the static
+    checker flags as ``y1-not-last``."""
+    c = Circuit("secAND2-PD-y1early")
+    x0, x1, y0, y1 = c.add_inputs("x0", "x1", "y0", "y1")
+    z = secand2_pd(
+        c,
+        SharePair(x0, x1),
+        SharePair(y0, y1),
+        n_luts=n_luts,
+        delay_units={"y0": 0, "x0": 2, "x1": 2, "y1": 1},
+    )
+    c.mark_output("z0", z.s0)
+    c.mark_output("z1", z.s1)
+    c.check()
+    return GadgetSpec(
+        name="secand2_pd_y1_early", circuit=c, secrets=_XY_SECRETS
+    )
+
+
+def _trichina_spec() -> GadgetSpec:
+    """Trichina AND (LUT mapping) with the x shares arriving last —
+    the late-x transition exposes the unmasked y (Sec. II problem
+    statement)."""
+    return GadgetSpec(
+        name="trichina_late_x",
+        circuit=build_trichina(style="lut"),
+        secrets=_XY_SECRETS,
+        randoms=("r",),
+        schedule=_sequence("r", "y0", "y1", "x1", "x0"),
+    )
+
+
+def _dom_indep_spec() -> GadgetSpec:
+    return GadgetSpec(
+        name="dom_indep",
+        circuit=build_dom_indep(),
+        secrets=_XY_SECRETS,
+        randoms=("r",),
+        n_cycles=2,
+    )
+
+
+def _ti_and3_spec() -> GadgetSpec:
+    c = Circuit("TI-AND3")
+    x0, x1, x2, y0, y1, y2 = c.add_inputs("x0", "x1", "x2", "y0", "y1", "y2")
+    z = ti_and3(c, ShareTriple(x0, x1, x2), ShareTriple(y0, y1, y2))
+    c.mark_output("z0", z.s0)
+    c.mark_output("z1", z.s1)
+    c.mark_output("z2", z.s2)
+    c.check()
+    return GadgetSpec(
+        name="ti_and3",
+        circuit=c,
+        secrets=(("x", ("x0", "x1", "x2")), ("y", ("y0", "y1", "y2"))),
+        n_cycles=2,
+    )
+
+
+def _secure_f_xy_spec() -> GadgetSpec:
+    return GadgetSpec(
+        name="secure_f_xy",
+        circuit=secure_f_xy(),
+        secrets=_XY_SECRETS,
+        randoms=("m",),
+    )
+
+
+def _insecure_f_xy_spec() -> GadgetSpec:
+    return GadgetSpec(
+        name="insecure_f_xy",
+        circuit=insecure_f_xy(),
+        secrets=_XY_SECRETS,
+    )
+
+
+def _pchain3_pd_spec(n_luts: int = 1) -> GadgetSpec:
+    """Table II 3-variable product chain of secAND2-PD gadgets."""
+    c = Circuit("pchain3-PD")
+    a0, a1, b0, b1, c0, c1 = c.add_inputs("a0", "a1", "b0", "b1", "c0", "c1")
+    z = product_chain_pd(
+        c,
+        [SharePair(a0, a1), SharePair(b0, b1), SharePair(c0, c1)],
+        n_luts=n_luts,
+    )
+    c.mark_output("z0", z.s0)
+    c.mark_output("z1", z.s1)
+    c.check()
+    return GadgetSpec(
+        name="pchain3_pd",
+        circuit=c,
+        secrets=(
+            ("a", ("a0", "a1")),
+            ("b", ("b0", "b1")),
+            ("c", ("c0", "c1")),
+        ),
+    )
+
+
+def pd_bank_spec(n_instances: int = 4, n_luts: int = 2) -> GadgetSpec:
+    """The fault sweep's device under test: a secAND2-PD bank with
+    shared inputs, all shares at t=0 (DelayUnits alone stagger)."""
+    from ..faults.sweep import build_pd_bank
+
+    return GadgetSpec(
+        name=f"pd_bank{n_instances}x{n_luts}",
+        circuit=build_pd_bank(n_instances=n_instances, n_luts=n_luts),
+        secrets=_XY_SECRETS,
+    )
+
+
+@dataclass(frozen=True)
+class Preset:
+    """A named gadget spec with the paper-predicted verdict."""
+
+    name: str
+    build: Callable[[], GadgetSpec]
+    expect_secure: Optional[bool]
+    note: str
+
+
+PRESETS: Dict[str, Preset] = {
+    p.name: p
+    for p in [
+        Preset(
+            "secand2_good_order",
+            lambda: _secand2_seq_spec(
+                "secand2_good_order", ("x0", "x1", "y0", "y1")
+            ),
+            True,
+            "raw secAND2, y1 arrives last (Table I safe sequence)",
+        ),
+        Preset(
+            "secand2_bad_order",
+            lambda: _secand2_seq_spec(
+                "secand2_bad_order", ("y0", "y1", "x1", "x0")
+            ),
+            False,
+            "raw secAND2, x0 arrives last (Table I leak)",
+        ),
+        Preset(
+            "secand2_ff",
+            _secand2_ff_spec,
+            True,
+            "Fig. 2: FF delays y1 by a cycle (2-cycle latency)",
+        ),
+        Preset(
+            "secand2_pd",
+            _secand2_pd_spec,
+            True,
+            "Fig. 3: DelayUnits stagger y0 -> x0,x1 -> y1",
+        ),
+        Preset(
+            "secand2_pd_y1_early",
+            _secand2_pd_y1_early_spec,
+            False,
+            "mis-sized y1 DelayUnit: x shares arrive after y1",
+        ),
+        Preset(
+            "trichina_late_x",
+            _trichina_spec,
+            False,
+            "Trichina LUT with late x shares (Sec. II problem)",
+        ),
+        Preset(
+            "dom_indep",
+            _dom_indep_spec,
+            True,
+            "DOM-indep AND: registered cross terms + fresh mask",
+        ),
+        Preset(
+            "ti_and3",
+            _ti_and3_spec,
+            True,
+            "3-share TI AND: non-complete components + registers",
+        ),
+        Preset(
+            "secure_f_xy",
+            _secure_f_xy_spec,
+            True,
+            "Fig. 7: f = x^y^xy with mandatory refresh (Sec. III-C)",
+        ),
+        Preset(
+            "insecure_f_xy",
+            _insecure_f_xy_spec,
+            False,
+            "Fig. 7 without the refresh (the Sec. III-C failure)",
+        ),
+        Preset(
+            "pchain3_pd",
+            _pchain3_pd_spec,
+            False,
+            "Table II 3-variable PD chain: statically safe margins, but "
+            "the from-reset transient of the last gadget's outputs "
+            "carries a share-symmetric bias (order-2 in power)",
+        ),
+    ]
+}
+
+
+def preset_spec(name: str) -> GadgetSpec:
+    """Build the named preset's :class:`GadgetSpec`."""
+    try:
+        return PRESETS[name].build()
+    except KeyError:
+        raise KeyError(
+            f"unknown preset {name!r}; available: {', '.join(PRESETS)}"
+        ) from None

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.gadgets import SharePair, secand2, secand2_pd
-from repro.faults import build_pd_bank, delay_variation, shift_gate_delay
+from repro.faults import build_pd_bank, delay_variation, shift_gate_delay, stuck_at
 from repro.netlist.circuit import Circuit
 from repro.netlist.safety import (
     OrderingViolation,
@@ -171,3 +171,56 @@ def test_pd_gadget_with_enough_luts_safe_under_jitter():
         results[n_luts] = len(check_secand2_ordering(c, check_y0_first=False))
     assert results[1] > 0
     assert results[10] == 0
+
+
+# ----------------------------------------------------------------------
+# degenerate circuits: no cores, constant operands, floating operands
+# ----------------------------------------------------------------------
+def test_no_secand2_cores_everything_empty():
+    """A circuit without secAND2 annotations has nothing to check —
+    every entry point returns its empty form, not an error."""
+    c = Circuit()
+    a, b = c.add_inputs("a", "b")
+    c.add_gate("XOR2", [a, b], name="plain_xor")
+    assert check_secand2_ordering(c) == []
+    assert ordering_margins(c) == []
+    assert min_ordering_margin(c) is None
+    assert count_violations(c) == {"y1-not-last": 0, "y0-not-first": 0}
+
+
+def test_stuck_operand_core_skipped():
+    """A core whose y1 operand is pinned by a stuck-at fault has no
+    arrival order to violate: it must be skipped, not reported as a
+    y1-not-last violation via the constant's zero-ish arrival time."""
+    bank = build_pd_bank(n_instances=2, n_luts=1)
+    core = bank.annotations["secand2"][0]
+    faulted = stuck_at(bank, core["y1"], True)
+
+    assert check_secand2_ordering(faulted) == []
+    tags = {m.gadget for m in ordering_margins(faulted)}
+    assert core["tag"] not in tags
+    # the un-faulted sibling core still reports normally
+    assert len(tags) == 1
+    worst = min_ordering_margin(faulted)
+    assert worst is not None and worst.gadget in tags
+
+
+def test_all_cores_stuck_min_margin_none():
+    bank = build_pd_bank(n_instances=1, n_luts=1)
+    core = bank.annotations["secand2"][0]
+    faulted = stuck_at(bank, core["y1"], False)
+    assert ordering_margins(faulted) == []
+    assert min_ordering_margin(faulted) is None
+    assert count_violations(faulted) == {"y1-not-last": 0, "y0-not-first": 0}
+
+
+def test_floating_operand_core_skipped():
+    """An undriven non-input operand never arrives; the old ``0 ps``
+    fallback made it look like an early x share."""
+    c = Circuit()
+    x0, x1, y0 = c.add_inputs("x0", "x1", "y0")
+    y1 = c.add_wire("y1_floating")
+    secand2(c, SharePair(x0, x1), SharePair(y0, y1))
+    assert check_secand2_ordering(c) == []
+    assert ordering_margins(c) == []
+    assert min_ordering_margin(c) is None
