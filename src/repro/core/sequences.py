@@ -73,6 +73,7 @@ class SequenceSource:
         step_ps: int = 1000,
         bin_ps: int = 250,
         settle_margin_ps: int = 1000,
+        pack_traces: "bool | str" = "auto",
     ):
         if sorted(sequence) != sorted(INPUT_NAMES):
             raise ValueError(f"sequence must permute {INPUT_NAMES}")
@@ -80,6 +81,10 @@ class SequenceSource:
         self.fixed_xy = fixed_xy
         self.step_ps = step_ps
         self.bin_ps = bin_ps
+        #: Execution mode for per-batch simulators
+        #: (:mod:`repro.sim.bitpack`); campaign runners overwrite this
+        #: with :attr:`CampaignConfig.pack_traces`.
+        self.pack_traces = pack_traces
         self.circuit = build_secand2(n_instances=n_instances)
         total = len(sequence) * step_ps + settle_margin_ps
         self.total_time_ps = total
@@ -106,7 +111,7 @@ class SequenceSource:
         y0, y1 = share(y, rng)
         values = {"x0": x0, "x1": x1, "y0": y0, "y1": y1}
 
-        sim = VectorSimulator(self.circuit, n)
+        sim = VectorSimulator(self.circuit, n, pack_traces=self.pack_traces)
         # settle the reset state (inputs 0) without recording power
         sim.evaluate_combinational(
             {self.circuit.wire(name): False for name in INPUT_NAMES}

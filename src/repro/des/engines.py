@@ -72,6 +72,10 @@ class MaskedDESNetlistEngine:
         delay_jitter_ps: Skew sigma per DelayUnit route.  The staggered
             arrival order only holds while the DelayUnit exceeds this
             skew, which is what the Sec. VII-B size sweep measures.
+        pack_traces: Default execution mode for :meth:`run_batch`
+            harnesses (``False`` / ``True`` / ``"auto"``; see
+            :mod:`repro.sim.bitpack`).  ``"auto"`` bit-packs campaign
+            batches of 64+ traces and leaves tiny batches boolean.
     """
 
     def __init__(
@@ -83,6 +87,7 @@ class MaskedDESNetlistEngine:
         gate_jitter_ps: float = 40.0,
         delay_jitter_ps: float = 700.0,
         sbox_output_register: bool = True,
+        pack_traces: "bool | str" = "auto",
     ):
         if variant not in ("ff", "pd"):
             raise ValueError("variant must be 'ff' or 'pd'")
@@ -90,6 +95,7 @@ class MaskedDESNetlistEngine:
         self.n_luts = n_luts
         self.recycle_randomness = recycle_randomness
         self.delay_jitter_ps = delay_jitter_ps
+        self.pack_traces = pack_traces
         self.sbox_output_register = sbox_output_register
         self.coupling_pairs: List[Tuple[int, int]] = []
         self.circuit = Circuit(f"masked-DES-{variant}")
@@ -335,6 +341,7 @@ class MaskedDESNetlistEngine:
         prng: RandomnessSource,
         record: bool = True,
         coupling_coefficient: float = 0.0,
+        pack_traces: "bool | str | None" = None,
     ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
         """Encrypt a batch and optionally record its power traces.
 
@@ -345,6 +352,8 @@ class MaskedDESNetlistEngine:
             record: Record toggle power.
             coupling_coefficient: Enable the Sec. VII-C coupling model
                 on the PD delay-line pairs with this strength.
+            pack_traces: Override the engine's default execution mode
+                for this batch (``None`` keeps the constructor's).
 
         Returns:
             ``(ciphertext_bits (64, n), power (n, n_samples) or None)``.
@@ -355,7 +364,15 @@ class MaskedDESNetlistEngine:
         pt_s = (pt_bits ^ pm, pm)
         key_s = (key_bits ^ km, km)
 
-        h = ClockedHarness(self.circuit, n, self.period_ps, check_timing=False)
+        if pack_traces is None:
+            pack_traces = self.pack_traces
+        h = ClockedHarness(
+            self.circuit,
+            n,
+            self.period_ps,
+            check_timing=False,
+            pack_traces=pack_traces,
+        )
         rand0 = self._round_rand(prng, n)
         l0, r0, cd1 = self._initial_state(pt_s, key_s)
         self._preload(h, l0, r0, cd1, rand0)
@@ -490,6 +507,10 @@ class DESTraceSource:
     prng_enabled: bool = True
     coupling_coefficient: float = 0.0
     verify: bool = False
+    #: Execution mode per batch (:mod:`repro.sim.bitpack`); ``None``
+    #: defers to the engine's default.  Campaign runners overwrite this
+    #: attribute with :attr:`CampaignConfig.pack_traces`.
+    pack_traces: "bool | str | None" = None
 
     def __post_init__(self) -> None:
         self.n_samples = self.engine.n_samples
@@ -524,6 +545,7 @@ class DESTraceSource:
             prng,
             record=True,
             coupling_coefficient=self.coupling_coefficient,
+            pack_traces=self.pack_traces,
         )
         if self.verify:
             ref = des_encrypt_bits(pt_bits, key_bits)

@@ -17,7 +17,7 @@ plus ``fault_sweep`` (eval.fault_sweep): the delay-variation
 margin-erosion sweep over the fault-injection subsystem — not a paper
 figure, but the robustness question behind Sec. VII-B; and ``bench``
 (eval.bench): the simulator-throughput benchmark that writes
-``BENCH_simulator.json`` (schema ``bench_simulator/v2``).
+``BENCH_simulator.json`` (schema ``bench_simulator/v3``).
 
 Each module exposes ``run(...)`` returning a result object with a
 ``render()`` method; the benchmark harness under ``benchmarks/`` calls

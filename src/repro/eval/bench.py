@@ -1,29 +1,41 @@
-"""Simulator throughput benchmark — ``BENCH_simulator.json`` schema v2.
+"""Simulator throughput benchmark — ``BENCH_simulator.json`` schema v3.
 
-Two head-to-head comparisons over the simulation substrate:
+Four head-to-head comparisons over the simulation substrate:
 
 * **settle** — compiled schedule replay vs the interpreted event loop
   on a campaign-shaped gadget-bank workload (both engines must agree
   bitwise; only the time differs);
+* **settle_packed** — boolean compiled replay vs the bit-packed
+  ``uint64``-lane engine (:mod:`repro.sim.bitpack`) on the same
+  workload; power samples must stay bitwise equal, the ~64x byte
+  reduction per logic op is where the speedup comes from;
 * **campaign** — serial vs parallel :func:`repro.leakage.run_campaign`
   over the same source and config (bitwise-equal t-statistics are a
-  hard requirement; the speedup is the headline number).
+  hard requirement); *skipped entirely* on single-CPU hosts, where the
+  parallel leg can only measure pool overhead;
+* **campaign_packed** — the same campaign run serially with
+  ``pack_traces=False`` vs ``pack_traces=True`` (bitwise-equal
+  t-statistics required; end-to-end engine speedup is the number).
 
 Schema history
 --------------
 ``bench_simulator/v1`` recorded a single ``speedup`` per comparison
 and nothing about the host — which let a 4-workers-on-1-core run
-publish a 0.92x "speedup" with no way to see why.  ``v2`` adds:
+publish a 0.92x "speedup" with no way to see why.  ``v2`` added:
 
 * ``parallel_comparison_valid`` — ``False`` when the host has fewer
-  than two CPUs; the parallel timing then only measures pool overhead
-  and must not be read as a regression (the bitwise-equality check
-  still holds and still runs);
+  than two CPUs;
 * ``n_workers`` vs ``cpu_count`` next to every campaign timing;
 * the full :meth:`repro.leakage.stats.CampaignStats.as_dict` of both
-  campaign runs (``serial_stats`` / ``parallel_stats``): transport,
-  start method, pipe bytes, warm-up time, per-batch min/median/max and
-  schedule compile-vs-replay counts.
+  campaign runs (``serial_stats`` / ``parallel_stats``).
+
+``v3`` adds the two packed-engine sections (``settle_packed``,
+``campaign_packed``, each recording the popcount backend in use — see
+:data:`repro.sim.bitpack.HAVE_BITWISE_COUNT`) and replaces the v2
+single-CPU behaviour: instead of burning a minute producing an invalid
+parallel comparison flagged ``parallel_comparison_valid=false``, the
+``campaign`` section is now ``{"skipped_reason": "cpu_count<2"}`` and
+the parallel leg never runs.
 
 The pytest benches under ``benchmarks/`` call the same comparison
 functions with CI budgets and write the same JSON; ``python -m repro
@@ -43,9 +55,12 @@ from typing import Callable, Dict, Optional
 
 import numpy as np
 
+from dataclasses import replace as dc_replace
+
 from ..core.gadgets import build_secand2
 from ..core.shares import share
 from ..leakage.acquisition import CampaignConfig, run_campaign
+from ..sim import bitpack
 from ..sim.power import PowerRecorder
 from ..sim.vectorsim import VectorSimulator
 
@@ -53,14 +68,26 @@ __all__ = [
     "SCHEMA",
     "median_time",
     "settle_comparison",
+    "settle_packed_comparison",
     "campaign_comparison",
+    "campaign_packed_comparison",
     "assemble_payload",
     "write_json",
     "BenchResult",
     "run",
 ]
 
-SCHEMA = "bench_simulator/v2"
+SCHEMA = "bench_simulator/v3"
+
+
+def _cpu_count() -> int:
+    """Host CPU count (module-level so tests can monkeypatch it)."""
+    return os.cpu_count() or 1
+
+
+def _popcount_backend() -> str:
+    """Which popcount implementation :mod:`repro.sim.bitpack` is using."""
+    return "bitwise_count" if bitpack.HAVE_BITWISE_COUNT else "lut8"
 
 #: Default output location (repo root when run from a checkout; the
 #: CLI and the pytest bench both write here and CI uploads it).
@@ -87,13 +114,62 @@ def median_time(fn: Callable, reps: int = 15, prep: Optional[Callable] = None) -
     return statistics.median(times)
 
 
-def settle_comparison(
-    n_instances: int = 32, n_traces: int = 1024, reps: int = 15
-) -> Dict[str, object]:
-    """Compiled replay vs interpreted settle on a secAND2 bank.
+def alternating_blocks(
+    run_a: Callable,
+    prep_a: Callable,
+    run_b: Callable,
+    prep_b: Callable,
+    reps: int,
+    rounds: int = 3,
+) -> "tuple[float, float, float]":
+    """Time two workloads in alternating per-leg blocks.
 
-    Returns the v2 ``settle`` section; raises AssertionError if the two
-    engines disagree on values or power (they must be bitwise equal).
+    Runs ``reps`` timed repetitions of leg A, then of leg B, repeated
+    ``rounds`` times (plus one untimed warmup of each leg, which
+    compiles schedules where applicable).  Per-leg blocks keep each
+    leg's working set cache-warm — a campaign runs one engine
+    back-to-back, never alternating — while alternating the blocks
+    cancels host-speed drift (CPU-frequency scaling, steal time on
+    shared runners) that would skew a single A-block-then-B-block
+    measurement.
+
+    Returns ``(t_a, t_b, ratio)``: the median block-median time of
+    each leg and the median per-round ratio ``t_a / t_b``.
+    """
+    prep_a()
+    run_a()
+    prep_b()
+    run_b()
+
+    def block(run, prep):
+        times = []
+        for _ in range(reps):
+            prep()
+            t0 = time.perf_counter()
+            run()
+            times.append(time.perf_counter() - t0)
+        return statistics.median(times)
+
+    t_as, t_bs, ratios = [], [], []
+    for _ in range(rounds):
+        ta = block(run_a, prep_a)
+        tb = block(run_b, prep_b)
+        t_as.append(ta)
+        t_bs.append(tb)
+        ratios.append(ta / tb)
+    return (
+        statistics.median(t_as),
+        statistics.median(t_bs),
+        statistics.median(ratios),
+    )
+
+
+def _settle_workload(n_instances: int, n_traces: int):
+    """The shared secAND2-bank settle workload of both settle sections.
+
+    Returns ``(make, n_traces)`` where ``make(compiled, packed)`` builds
+    a fresh ``(sim, rec, prep, run_once)`` quadruple over the same
+    circuit, events and weights.
     """
     rng = np.random.default_rng(0)
     c = build_secand2(n_instances=n_instances)
@@ -108,23 +184,41 @@ def settle_comparison(
     ]
     inputs = {c.wire(k): False for k in ("x0", "x1", "y0", "y1")}
 
-    def make(compiled):
-        sim = VectorSimulator(c, n, compile_schedules=compiled)
+    def make(compiled: bool, packed: bool = False):
+        sim = VectorSimulator(
+            c, n, compile_schedules=compiled, pack_traces=packed
+        )
         rec = PowerRecorder(n, 5000, bin_ps=250, weights=sim.weights)
 
         def prep():
             sim.reset_state(False)
             sim.evaluate_combinational(inputs)
+            rec.power[:] = 0.0
 
         def run_once():
             sim.settle(events, recorder=rec)
 
         return sim, rec, prep, run_once
 
+    return make
+
+
+def settle_comparison(
+    n_instances: int = 64, n_traces: int = 1024, reps: int = 15
+) -> Dict[str, object]:
+    """Compiled replay vs interpreted settle on a secAND2 bank.
+
+    Returns the ``settle`` section; raises AssertionError if the two
+    engines disagree on values or power (they must be bitwise equal).
+    Timed via :func:`alternating_blocks` so host-speed drift between
+    the legs cancels.
+    """
+    make = _settle_workload(n_instances, n_traces)
     sim_i, rec_i, prep_i, run_i = make(False)
     sim_c, rec_c, prep_c, run_c = make(True)
-    t_interp = median_time(run_i, reps=reps, prep=prep_i)
-    t_compiled = median_time(run_c, reps=reps, prep=prep_c)
+    t_interp, t_compiled, speedup = alternating_blocks(
+        run_i, prep_i, run_c, prep_c, reps
+    )
     prep_i()
     run_i()
     prep_c()
@@ -134,10 +228,50 @@ def settle_comparison(
     return {
         "circuit": "secAND2 bank",
         "n_instances": n_instances,
-        "n_traces": n,
+        "n_traces": n_traces,
         "interpreted_ms": t_interp * 1e3,
         "compiled_ms": t_compiled * 1e3,
-        "speedup": t_interp / t_compiled,
+        "speedup": speedup,
+    }
+
+
+def settle_packed_comparison(
+    n_instances: int = 64, n_traces: int = 16384, reps: int = 9
+) -> Dict[str, object]:
+    """Boolean vs bit-packed compiled replay on a secAND2 bank.
+
+    Both engines run the compiled path with a :class:`PowerRecorder`,
+    so the measured difference is purely the ``uint64``-lane state
+    representation (plus its lazy unpacking at recording points).
+    Raises AssertionError unless final wire values and power samples
+    are bitwise equal.  The defaults are sized so the byte-traffic
+    advantage dominates per-call numpy overhead (packing small batches
+    is not profitable — that is why ``"auto"`` exists).  Timed via
+    :func:`alternating_blocks` so host-speed drift between the legs
+    cancels.
+    """
+    make = _settle_workload(n_instances, n_traces)
+    sim_b, rec_b, prep_b, run_b = make(True, packed=False)
+    sim_p, rec_p, prep_p, run_p = make(True, packed=True)
+    t_bool, t_packed, speedup = alternating_blocks(
+        run_b, prep_b, run_p, prep_p, reps
+    )
+    prep_b()
+    run_b()
+    prep_p()
+    run_p()
+    for w in range(sim_b.values.shape[0]):
+        assert np.array_equal(sim_b.wire_values(w), sim_p.wire_values(w))
+    assert np.array_equal(rec_b.power, rec_p.power)
+    return {
+        "circuit": "secAND2 bank",
+        "n_instances": n_instances,
+        "n_traces": n_traces,
+        "n_lanes": sim_p.n_lanes,
+        "popcount": _popcount_backend(),
+        "boolean_ms": t_bool * 1e3,
+        "packed_ms": t_packed * 1e3,
+        "speedup": speedup,
     }
 
 
@@ -149,10 +283,12 @@ def campaign_comparison(
 ) -> Dict[str, object]:
     """Serial vs parallel campaign over one source/config.
 
-    Returns the v2 ``campaign`` section, with the serial and parallel
+    Returns the ``campaign`` section, with the serial and parallel
     :class:`~repro.leakage.stats.CampaignStats` embedded; raises
     AssertionError if the parallel t-statistics are not bitwise equal
-    to the serial ones.
+    to the serial ones.  Callers must skip this comparison on
+    single-CPU hosts (see :func:`run`): there the parallel leg can only
+    measure pool overhead, never parallelism.
     """
     serial = run_campaign(source, config, n_workers=1)
     parallel = run_campaign(source, config, n_workers=n_workers)
@@ -179,18 +315,58 @@ def campaign_comparison(
     }
 
 
+def campaign_packed_comparison(
+    source,
+    config: CampaignConfig,
+    source_label: str = "",
+) -> Dict[str, object]:
+    """Boolean vs bit-packed engine over one serial campaign.
+
+    Runs the identical campaign twice in-process — once with
+    ``pack_traces=False``, once with ``pack_traces=True`` — and
+    demands bitwise-equal t-statistics at every order.  Serial on
+    purpose: the number isolates the engine, not the pool.
+    """
+    boolean = run_campaign(
+        source, dc_replace(config, pack_traces=False), n_workers=1
+    )
+    packed = run_campaign(
+        source, dc_replace(config, pack_traces=True), n_workers=1
+    )
+    bitwise = bool(
+        np.array_equal(boolean.t1, packed.t1)
+        and np.array_equal(boolean.t2, packed.t2)
+        and np.array_equal(boolean.t3, packed.t3)
+    )
+    assert bitwise, "packed campaign diverged bitwise from boolean"
+    t_bool = boolean.stats.wall_seconds
+    t_packed = packed.stats.wall_seconds
+    return {
+        "source": source_label or type(source).__name__,
+        "n_traces": config.n_traces,
+        "batch_size": config.batch_size,
+        "popcount": _popcount_backend(),
+        "boolean_s": t_bool,
+        "packed_s": t_packed,
+        "speedup": t_bool / t_packed if t_packed > 0 else 0.0,
+        "bitwise_equal": bitwise,
+        "boolean_stats": boolean.stats.as_dict(),
+        "packed_stats": packed.stats.as_dict(),
+    }
+
+
 def assemble_payload(**sections) -> Dict[str, object]:
-    """Wrap comparison sections in the v2 envelope (host + validity)."""
-    cpu = os.cpu_count() or 1
+    """Wrap comparison sections in the v3 envelope (host + validity)."""
+    cpu = _cpu_count()
     return {
         "schema": SCHEMA,
         "python": platform.python_version(),
         "numpy": np.__version__,
         "cpu_count": cpu,
         "unix_time": time.time(),
-        # On a single-CPU host the parallel campaign timing measures
-        # pool overhead, not parallelism; readers must not treat its
-        # speedup as a regression signal.
+        # Single-CPU hosts cannot produce a meaningful serial-vs-
+        # parallel number; run() then skips the campaign section
+        # (recording a skipped_reason) instead of timing pool overhead.
         "parallel_comparison_valid": cpu >= 2,
         **sections,
     }
@@ -223,30 +399,48 @@ class BenchResult:
                 f"compiled {s['compiled_ms']:8.3f} ms   "
                 f"speedup {s['speedup']:.2f}x"
             )
+        sp = p.get("settle_packed")
+        if sp:
+            lines.append(
+                f"packed:   boolean {sp['boolean_ms']:10.3f} ms   "
+                f"packed   {sp['packed_ms']:8.3f} ms   "
+                f"speedup {sp['speedup']:.2f}x   "
+                f"({sp['n_traces']} traces in {sp['n_lanes']} lanes, "
+                f"popcount={sp['popcount']})"
+            )
         c = p.get("campaign")
         if c:
+            if "skipped_reason" in c:
+                lines.append(
+                    f"campaign: skipped ({c['skipped_reason']}) — a "
+                    "serial-vs-parallel timing on this host would only "
+                    "measure pool overhead"
+                )
+            else:
+                lines.append(
+                    f"campaign: serial {c['serial_s']:8.3f} s   "
+                    f"parallel({c['n_workers']}) {c['parallel_s']:8.3f} s   "
+                    f"speedup {c['speedup']:.2f}x   "
+                    f"bitwise={c['bitwise_equal']}"
+                )
+                stats = c.get("parallel_stats") or {}
+                if stats:
+                    lines.append(
+                        f"  parallel run: {stats['start_method']} start, "
+                        f"transport={stats['transport']} "
+                        f"({stats['pipe_bytes']:,} B through the pipe), "
+                        f"warmup {stats['warmup_seconds']:.3f}s, "
+                        f"schedules {stats['schedule_replays']} replayed / "
+                        f"{stats['schedule_compiles']} compiled"
+                    )
+        cp = p.get("campaign_packed")
+        if cp:
             lines.append(
-                f"campaign: serial {c['serial_s']:8.3f} s   "
-                f"parallel({c['n_workers']}) {c['parallel_s']:8.3f} s   "
-                f"speedup {c['speedup']:.2f}x   "
-                f"bitwise={c['bitwise_equal']}"
+                f"campaign_packed: boolean {cp['boolean_s']:8.3f} s   "
+                f"packed {cp['packed_s']:8.3f} s   "
+                f"speedup {cp['speedup']:.2f}x   "
+                f"bitwise={cp['bitwise_equal']}"
             )
-            if not p["parallel_comparison_valid"]:
-                lines.append(
-                    "  NOTE: single-CPU host — the parallel timing "
-                    "measures pool overhead, not parallelism; only the "
-                    "bitwise check is meaningful here"
-                )
-            stats = c.get("parallel_stats") or {}
-            if stats:
-                lines.append(
-                    f"  parallel run: {stats['start_method']} start, "
-                    f"transport={stats['transport']} "
-                    f"({stats['pipe_bytes']:,} B through the pipe), "
-                    f"warmup {stats['warmup_seconds']:.3f}s, "
-                    f"schedules {stats['schedule_replays']} replayed / "
-                    f"{stats['schedule_compiles']} compiled"
-                )
         if self.json_path is not None:
             lines.append(f"wrote {self.json_path}")
         return "\n".join(lines)
@@ -258,7 +452,7 @@ def run(
     write: bool = True,
     json_path: "Optional[Path]" = None,
 ) -> BenchResult:
-    """Run both comparisons and (by default) write the v2 JSON.
+    """Run all comparisons and (by default) write the v3 JSON.
 
     ``quick`` shrinks the budgets to CI-smoke size and swaps the
     campaign workload from the masked-DES netlist engine to the
@@ -266,10 +460,19 @@ def run(
     ``n_workers`` defaults to ``"auto"`` (match the host) so the
     recorded speedup is the best the box can do; pass an int to
     measure a specific topology.
+
+    On a single-CPU host the serial-vs-parallel ``campaign`` section is
+    skipped entirely — recorded as ``{"skipped_reason": "cpu_count<2",
+    ...}`` — instead of spending a minute timing pool overhead that
+    the old schema could only flag as invalid after the fact.  The
+    packed-engine sections always run; they are in-process.
     """
     workers = "auto" if n_workers is None else n_workers
     if quick:
         settle = settle_comparison(n_instances=8, n_traces=256, reps=3)
+        settle_packed = settle_packed_comparison(
+            n_instances=16, n_traces=2048, reps=3
+        )
         from ..core.sequences import INPUT_NAMES, SequenceSource
 
         source = SequenceSource(INPUT_NAMES, n_instances=8)
@@ -277,12 +480,10 @@ def run(
             n_traces=400, batch_size=100, noise_sigma=1.0, seed=0,
             label="bench-quick",
         )
-        campaign = campaign_comparison(
-            source, cfg, n_workers=workers,
-            source_label="SequenceSource (secAND2 bank, 8 instances)",
-        )
+        source_label = "SequenceSource (secAND2 bank, 8 instances)"
     else:
         settle = settle_comparison()
+        settle_packed = settle_packed_comparison()
         from ..des.engines import DESTraceSource, MaskedDESNetlistEngine
 
         engine = MaskedDESNetlistEngine("ff")
@@ -293,10 +494,24 @@ def run(
             n_traces=500, batch_size=125, noise_sigma=1.0, seed=0,
             label="bench",
         )
+        source_label = "DESTraceSource (masked DES netlist, ff variant)"
+    if _cpu_count() < 2:
+        campaign: Dict[str, object] = {
+            "source": source_label,
+            "skipped_reason": "cpu_count<2",
+        }
+    else:
         campaign = campaign_comparison(
-            source, cfg, n_workers=workers,
-            source_label="DESTraceSource (masked DES netlist, ff variant)",
+            source, cfg, n_workers=workers, source_label=source_label
         )
-    payload = assemble_payload(settle=settle, campaign=campaign)
+    campaign_packed = campaign_packed_comparison(
+        source, cfg, source_label=source_label
+    )
+    payload = assemble_payload(
+        settle=settle,
+        settle_packed=settle_packed,
+        campaign=campaign,
+        campaign_packed=campaign_packed,
+    )
     path = write_json(payload, json_path) if write else None
     return BenchResult(payload=payload, json_path=path)

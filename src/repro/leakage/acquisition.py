@@ -64,6 +64,7 @@ from typing import Callable, Iterator, List, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
 
+from ..sim.bitpack import LANE_BITS, resolve_pack_traces
 from ..sim.compiled import pin_schedule_cache, schedule_cache_counters
 from .stats import BatchRecord, CampaignStats
 from .transport import ShardPayload, pack_shard, resolve_transport, unpack_shard
@@ -180,6 +181,18 @@ class CampaignConfig:
             schedule cache) with the platform default as fallback;
             ``"spawn"`` / ``"forkserver"`` force a re-pickled cold
             start (results stay bitwise identical either way).
+        pack_traces: Simulation engine selection, pushed onto sources
+            that expose a ``pack_traces`` attribute before each batch:
+            ``False`` = boolean arrays, ``True`` = 64-traces-per-uint64
+            bit-packed lanes, ``"auto"`` (default) = packed for batches
+            of 64+ traces (see :mod:`repro.sim.bitpack`).  Either
+            engine produces bitwise-identical t-statistics; the shard
+            transport carries float64 moments and is unaffected.  A
+            ragged final batch (``batch % 64 != 0``) is handled by
+            padding the last lane with copies of the final trace —
+            exact, but the pad bits are wasted work, so
+            :func:`suggest_batch_size` rounds packed batches to lane
+            multiples.
     """
 
     n_traces: int = 20000
@@ -190,6 +203,7 @@ class CampaignConfig:
     n_workers: "int | str" = 1
     transport: str = "auto"
     start_method: Optional[str] = None
+    pack_traces: "bool | str" = "auto"
 
     def __post_init__(self) -> None:
         if self.n_traces <= 0:
@@ -216,6 +230,7 @@ class CampaignConfig:
             )
         # Fail on typos now, not inside a worker an hour into the run.
         resolve_transport(self.transport, 1)
+        resolve_pack_traces(self.pack_traces, self.batch_size)
         if self.start_method is not None:
             if self.start_method not in multiprocessing.get_all_start_methods():
                 raise ValueError(
@@ -233,7 +248,9 @@ class CampaignConfig:
         """
         cpu = cpu_count if cpu_count is not None else (os.cpu_count() or 1)
         workers = max(1, min(cpu, self.n_traces // _MIN_AUTO_BATCH or 1))
-        batch = suggest_batch_size(self.n_traces, workers)
+        batch = suggest_batch_size(
+            self.n_traces, workers, pack_traces=self.pack_traces
+        )
         return replace(self, n_workers=workers, batch_size=batch)
 
 
@@ -244,7 +261,9 @@ _MIN_AUTO_BATCH = 256
 _MAX_AUTO_BATCH = 8192
 
 
-def suggest_batch_size(n_traces: int, n_workers: int) -> int:
+def suggest_batch_size(
+    n_traces: int, n_workers: int, pack_traces: "bool | str" = False
+) -> int:
     """Batch-size heuristic for a campaign of ``n_traces``.
 
     Three pressures, in priority order:
@@ -257,9 +276,24 @@ def suggest_batch_size(n_traces: int, n_workers: int) -> int:
        setup, shard transport) dominate the numpy work.
     3. **Memory** — at most :data:`_MAX_AUTO_BATCH` traces per batch,
        bounding each worker's ``(batch, n_samples)`` float32 residency.
+
+    When ``pack_traces`` selects the bit-packed engine for the
+    suggested size, the size is additionally rounded down to a multiple
+    of the 64-trace lane width: a ragged batch is simulated exactly (the
+    final lane is padded with copies of its last trace and the padding
+    is stripped before recording) but those pad bits are pure overhead,
+    so lane-aligned batches are strictly better when the total allows
+    it.  The campaign's *final* batch may still be ragged when
+    ``n_traces`` itself is not lane-aligned — that is the padded case
+    the equivalence tests pin down.
     """
     target = n_traces // max(1, 4 * n_workers)
-    return max(1, min(_MAX_AUTO_BATCH, max(_MIN_AUTO_BATCH, target), n_traces))
+    batch = max(
+        1, min(_MAX_AUTO_BATCH, max(_MIN_AUTO_BATCH, target), n_traces)
+    )
+    if batch >= LANE_BITS and resolve_pack_traces(pack_traces, batch):
+        batch -= batch % LANE_BITS
+    return batch
 
 
 def resolve_n_workers(
@@ -317,6 +351,11 @@ def _acquire_batch(
     """
     rng = np.random.default_rng([config.seed, index])
     fixed_mask = rng.integers(0, 2, size=n).astype(bool)
+    if hasattr(source, "pack_traces"):
+        # Push the campaign's engine selection onto the source (the
+        # documented contract for simulator-backed sources); sources
+        # without the attribute simply don't support packing.
+        source.pack_traces = config.pack_traces
     traces = source.acquire(fixed_mask, rng)
     if config.noise_sigma > 0:
         traces = traces + rng.normal(

@@ -6,6 +6,17 @@ transitions *are* the glitches the paper reasons about, and a
 toggle-count power model whose traces feed TVLA.
 """
 
+from .bitpack import (
+    HAVE_BITWISE_COUNT,
+    LANE_BITS,
+    n_lanes,
+    pack_bool,
+    pack_scalar,
+    popcount,
+    resolve_pack_traces,
+    unpack_bool,
+    unpack_u8,
+)
 from .compiled import (
     CompiledSchedule,
     StaleScheduleError,
@@ -22,6 +33,15 @@ from .clocking import ClockedHarness, TimingViolation
 from .vcd import to_vcd
 
 __all__ = [
+    "HAVE_BITWISE_COUNT",
+    "LANE_BITS",
+    "n_lanes",
+    "pack_bool",
+    "pack_scalar",
+    "popcount",
+    "resolve_pack_traces",
+    "unpack_bool",
+    "unpack_u8",
     "CompiledSchedule",
     "StaleScheduleError",
     "compile_schedule",

@@ -26,6 +26,7 @@ import numpy as np
 
 from ..netlist.circuit import Circuit, Gate
 from ..netlist.timing import CLK_TO_Q_PS
+from .bitpack import pack_scalar, unpack_bool
 from .power import PowerRecorder
 from .vectorsim import InputEvent, VectorSimulator
 
@@ -57,6 +58,10 @@ class ClockedHarness:
             input-event timing pattern — the common case in campaigns,
             where every batch replays the same control sequence — then
             skip the interpreted event loop entirely.
+        pack_traces: Bit-packed execution mode, forwarded to
+            :class:`VectorSimulator` (``False`` / ``True`` / ``"auto"``;
+            see :mod:`repro.sim.bitpack`).  FF state is then held as
+            ``uint64`` lanes too, and clock-edge sampling runs bitwise.
     """
 
     def __init__(
@@ -67,9 +72,13 @@ class ClockedHarness:
         check_timing: bool = True,
         compile_schedules: bool = True,
         period_schedule: Optional[Sequence[int]] = None,
+        pack_traces: "bool | str" = False,
     ):
         self.sim = VectorSimulator(
-            circuit, n_traces, compile_schedules=compile_schedules
+            circuit,
+            n_traces,
+            compile_schedules=compile_schedules,
+            pack_traces=pack_traces,
         )
         self.period_ps = period_ps
         self.period_schedule = (
@@ -84,7 +93,12 @@ class ClockedHarness:
         self._t_offset_ps = 0
         self._ffs: List[Gate] = circuit.ff_gates()
         self._ff_index = {g.name: i for i, g in enumerate(self._ffs)}
-        self._ff_q = np.zeros((len(self._ffs), n_traces), dtype=bool)
+        if self.sim.packed:
+            self._ff_q = np.zeros(
+                (len(self._ffs), self.sim.n_lanes), dtype=np.uint64
+            )
+        else:
+            self._ff_q = np.zeros((len(self._ffs), n_traces), dtype=bool)
         # FFs may declare a reset_group param; step() can synchronously
         # reset whole groups (the paper resets the secAND2-FF gadget
         # flip-flops between computations, Sec. II-C).
@@ -126,7 +140,10 @@ class ClockedHarness:
 
     def force_ffs(self, value: bool = False) -> None:
         """Synchronously force every FF's stored state (no events)."""
-        self._ff_q[:] = value
+        if self.sim.packed:
+            self._ff_q[:] = pack_scalar(value, 1)[0]
+        else:
+            self._ff_q[:] = value
 
     def preload(
         self,
@@ -143,14 +160,18 @@ class ClockedHarness:
         for name, vals in ff_values.items():
             i = self._ff_index[name]
             v = np.asarray(vals, dtype=bool)
-            self._ff_q[i] = v
-            self.sim.values[self._ffs[i].output] = v.copy()
+            coerced = self.sim._coerce(v if v.ndim else bool(v))
+            self._ff_q[i] = coerced
+            self.sim.values[self._ffs[i].output] = coerced
         inputs = dict(input_values or {})
         self.sim.evaluate_combinational(inputs)
 
     def ff_state(self, name: str) -> np.ndarray:
-        """Current stored value of the named FF (copy)."""
-        return self._ff_q[self._ff_index[name]].copy()
+        """Current stored boolean value of the named FF (copy)."""
+        i = self._ff_index[name]
+        if self.sim.packed:
+            return unpack_bool(self._ff_q[i], self.n_traces)
+        return self._ff_q[i].copy()
 
     # ------------------------------------------------------------------
     def _sample_ffs(
@@ -162,12 +183,18 @@ class ClockedHarness:
             reset_idx.update(self._reset_groups.get(grp, ()))
         events: List[InputEvent] = []
         vals = self.sim.values
+        packed = self.sim.packed
         for i, ff in enumerate(self._ffs):
             if reset or i in reset_idx:
-                new_q = np.zeros(self.n_traces, dtype=bool)
+                new_q = np.zeros_like(self._ff_q[i])
             elif ff.cell.name == "DFFE":
                 d, en = ff.inputs
-                new_q = np.where(vals[en], vals[d], self._ff_q[i])
+                if packed:
+                    # Bitwise mux (np.where is positional, not bitwise):
+                    # pad bits keep shadowing the last real trace.
+                    new_q = (vals[en] & vals[d]) | (~vals[en] & self._ff_q[i])
+                else:
+                    new_q = np.where(vals[en], vals[d], self._ff_q[i])
             else:
                 new_q = vals[ff.inputs[0]].copy()
             if not np.array_equal(new_q, self._ff_q[i]):

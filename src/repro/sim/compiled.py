@@ -431,31 +431,50 @@ def replay(
     t_offset: float,
     max_events: int,
     circuit=None,
+    n_traces: Optional[int] = None,
 ) -> Tuple[float, int]:
     """Execute a compiled program over ``(n_wires, n_traces)`` state.
 
     Args:
         schedule: Program from :func:`compile_schedule`.
-        values: The simulator's wire-value matrix (mutated in place).
-        event_values: One coerced ``(n_traces,)`` bool array per input
-            event, in the order of the compiled pattern.
+        values: The simulator's wire-value matrix (mutated in place):
+            ``(n_wires, n_traces)`` bool, or ``(n_wires, n_lanes)``
+            ``uint64`` in packed mode (:mod:`repro.sim.bitpack`).
+        event_values: One coerced array per input event, in the order
+            of the compiled pattern — ``(n_traces,)`` bool, or
+            ``(n_lanes,)`` uint64 in packed mode.
         recorder: Optional power recorder.  Recorders with coupling
             partners (or without :meth:`add_energy`) take the exact
             per-wire path; plain recorders get one batched per-time-bin
-            energy update.
+            energy update; :class:`~repro.sim.power.NullRecorder`
+            (``is_null``) skips all recording arithmetic entirely.
         t_offset: Absolute time of this call's t=0.
         max_events: Gate-evaluation budget (same semantics as the
             interpreter's).
         circuit: The owning circuit, used only for diagnostics (name
             and oscillating-wire names in budget errors).
+        n_traces: Real trace count in packed mode (pad bits are
+            stripped before anything reaches the recorder); ``None``
+            means boolean state.
+
+    In packed mode every guard and state update below runs on the
+    64x-smaller lane words; toggle masks are unpacked back to per-trace
+    bits *lazily*, only at recording points and only when at least one
+    lane toggled.  The unpacked uint8 bits feed the exact float
+    expressions of the boolean path, so power samples stay bitwise
+    identical (pad bits shadow the last real trace — see
+    :mod:`repro.sim.bitpack` — so liveness and event accounting match
+    too).
 
     Returns:
         ``(settle_time, n_gate_evaluations)``.
     """
+    from .bitpack import unpack_bool, unpack_u8
     from .vectorsim import budget_error
 
+    packed = n_traces is not None
     n = values.shape[1] if values.ndim == 2 else 0
-    slot_values = np.empty((max(1, schedule.n_slots), n), dtype=bool)
+    slot_values = np.empty((max(1, schedule.n_slots), n), dtype=values.dtype)
     slot_valid = np.zeros(max(1, schedule.n_slots), dtype=bool)
     for slot, vals in zip(schedule.input_slots, event_values):
         slot_values[slot] = vals
@@ -464,7 +483,7 @@ def replay(
     record_wire = None
     add_energy = None
     weights = None
-    if recorder is not None:
+    if recorder is not None and not getattr(recorder, "is_null", False):
         batched = not getattr(recorder, "_partners", None)
         add_energy = getattr(recorder, "add_energy", None) if batched else None
         if add_energy is None:
@@ -498,14 +517,27 @@ def replay(
             if live0:
                 values[w0] = new_row
                 if record_wire is not None:
-                    record_wire(
-                        t_offset + step.t, int(w0), toggled_row, new_row
-                    )
+                    if packed:
+                        record_wire(
+                            t_offset + step.t,
+                            int(w0),
+                            unpack_bool(toggled_row, n_traces),
+                            unpack_bool(new_row, n_traces),
+                        )
+                    else:
+                        record_wire(
+                            t_offset + step.t, int(w0), toggled_row, new_row
+                        )
                 elif add_energy is not None:
                     # Identical arithmetic to record_wire's accumulation,
                     # so this path is bitwise exact for *any* weights.
                     scale = f32(1.0) if weights is None else f32(weights[w0])
-                    add_energy(t_offset + step.t, toggled_row * scale)
+                    bits = (
+                        unpack_u8(toggled_row, n_traces)
+                        if packed
+                        else toggled_row
+                    )
+                    add_energy(t_offset + step.t, bits * scale)
             for grp in step.groups:
                 # k == 1: every row is triggered by the sole update.
                 out_slots = grp.out_slots
@@ -549,18 +581,43 @@ def replay(
                 values[wires[live]] = new[live]
             if record_wire is not None:
                 t_abs = t_offset + step.t
-                for r in np.nonzero(live)[0]:
-                    record_wire(t_abs, int(wires[r]), toggled[r], new[r])
-            elif add_energy is not None:
-                if weights is None:
-                    energy = np.dot(
-                        np.ones(len(wires), dtype=f32),
-                        toggled.view(np.uint8),
-                    )
+                if packed:
+                    for r in np.nonzero(live)[0]:
+                        record_wire(
+                            t_abs,
+                            int(wires[r]),
+                            unpack_bool(toggled[r], n_traces),
+                            unpack_bool(new[r], n_traces),
+                        )
                 else:
-                    energy = np.dot(
-                        weights[wires].astype(f32), toggled.view(np.uint8)
-                    )
+                    for r in np.nonzero(live)[0]:
+                        record_wire(t_abs, int(wires[r]), toggled[r], new[r])
+            elif add_energy is not None:
+                if packed:
+                    # Unpack and dot only the rows that actually
+                    # toggled — dead rows contribute exact float zeros,
+                    # so dropping them cannot change any partial sum
+                    # (the same argument that makes this batched path
+                    # bit-identical to per-wire accumulation for the
+                    # integer-valued weights, see
+                    # PowerRecorder.add_energy).  Row order is kept.
+                    idx = np.nonzero(live)[0]
+                    bits = unpack_u8(toggled[idx], n_traces)
+                    if weights is None:
+                        energy = np.dot(np.ones(len(idx), dtype=f32), bits)
+                    else:
+                        energy = np.dot(weights[wires[idx]].astype(f32), bits)
+                else:
+                    if weights is None:
+                        energy = np.dot(
+                            np.ones(len(wires), dtype=f32),
+                            toggled.view(np.uint8),
+                        )
+                    else:
+                        energy = np.dot(
+                            weights[wires].astype(f32),
+                            toggled.view(np.uint8),
+                        )
                 add_energy(t_offset + step.t, energy)
         for grp in step.groups:
             out_slots = grp.out_slots

@@ -189,7 +189,15 @@ class TransientRecorder:
     (``compile_schedules=False``); the compiled replay engine pre-sums
     energy across wires, which destroys exactly the information this
     recorder exists to keep, so :meth:`add_energy` refuses to run.
+    The bit-packed engine (``pack_traces=True``) is refused for the
+    same reason — the simulator checks :attr:`requires_transients` and
+    raises before simulating (see :mod:`repro.sim.bitpack`).
     """
+
+    #: The simulator keeps the exact boolean transient path for this
+    #: recorder: packed simulation raises instead of silently handing
+    #: it lane words.
+    requires_transients = True
 
     def __init__(self) -> None:
         #: ``(t_ps, wire, toggled, new)`` in simulation order; ``toggled``
@@ -217,15 +225,27 @@ class TransientRecorder:
 
 
 class NullRecorder:
-    """A recorder that discards everything (pure functional simulation)."""
+    """A recorder that discards everything (pure functional simulation).
+
+    Both simulation engines check :attr:`is_null` and skip *all*
+    recording work for this recorder — no toggle-energy arithmetic, no
+    unpacking of packed lanes — so functional replay with a
+    ``NullRecorder`` costs exactly as much as passing no recorder while
+    keeping a recorder-shaped object in APIs that require one.
+    """
+
+    #: Engines treat the recorder as absent: transitions are neither
+    #: unpacked nor weighted.  The no-op methods below still exist for
+    #: callers that record unconditionally.
+    is_null = True
 
     n_bins = 0
 
-    def record_batch(self, t_ps: int, changes) -> None:  # pragma: no cover
+    def record_batch(self, t_ps: int, changes) -> None:
         pass
 
-    def record_wire(self, t_ps, wire, toggled, new) -> None:  # pragma: no cover
+    def record_wire(self, t_ps, wire, toggled, new) -> None:
         pass
 
-    def add_energy(self, t_ps, energy) -> None:  # pragma: no cover
+    def add_energy(self, t_ps, energy) -> None:
         pass

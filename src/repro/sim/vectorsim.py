@@ -33,6 +33,17 @@ timing pattern records the evaluation schedule via
 straight-line numpy (no heap, no per-event dicts, batched power
 updates) with transition-for-transition identical results.  Pass
 ``compile_schedules=False`` to force the interpreted path.
+
+Packed trace lanes
+------------------
+``pack_traces=True`` (or ``"auto"``, which engages at 64+ traces)
+stores wire state as ``uint64`` lanes of 64 traces each
+(:mod:`repro.sim.bitpack`): every gate evaluation and toggle mask
+becomes a bitwise op on 64x less data, while liveness guards, event
+accounting and — via lazy unpacking of toggling wires only — the
+recorded power stay bit-identical to the boolean engine.
+:class:`~repro.sim.power.TransientRecorder` needs the boolean per-wire
+transient stream and is refused under packing.
 """
 
 from __future__ import annotations
@@ -43,6 +54,13 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..netlist.circuit import Circuit
+from .bitpack import (
+    n_lanes,
+    pack_bool,
+    pack_scalar,
+    resolve_pack_traces,
+    unpack_bool,
+)
 from .compiled import lookup_or_compile, replay
 from .power import PowerRecorder, default_weights
 
@@ -114,18 +132,31 @@ class VectorSimulator:
         n_traces: int,
         compile_schedules: bool = True,
         allow_loops: bool = False,
+        pack_traces: "bool | str" = False,
     ):
         """``allow_loops=True`` admits circuits with combinational
         feedback (ring oscillators, latches): the event-driven
         :meth:`settle` simulates them faithfully until the event budget
         cuts a genuine oscillation off with a :class:`SimulationError`.
         Zero-delay :meth:`evaluate_combinational` still needs a
-        topological order and keeps rejecting loops."""
+        topological order and keeps rejecting loops.
+
+        ``pack_traces`` selects the bit-packed execution mode (see the
+        module docstring): ``False`` (default) keeps boolean wire
+        state, ``True`` packs 64 traces per ``uint64`` lane, ``"auto"``
+        packs when ``n_traces >= 64``."""
         circuit.check(allow_loops=allow_loops)
         self.circuit = circuit
         self.n_traces = n_traces
         self.compile_schedules = compile_schedules
-        self.values = np.zeros((circuit.n_wires, n_traces), dtype=bool)
+        self.packed = resolve_pack_traces(pack_traces, n_traces)
+        self.n_lanes = n_lanes(n_traces) if self.packed else n_traces
+        if self.packed:
+            self.values = np.zeros(
+                (circuit.n_wires, self.n_lanes), dtype=np.uint64
+            )
+        else:
+            self.values = np.zeros((circuit.n_wires, n_traces), dtype=bool)
         self._fanout = circuit.fanout_map()
         # Fanout restricted to combinational gates: FF inputs are
         # sampled by the clocking harness, not propagated continuously.
@@ -140,17 +171,48 @@ class VectorSimulator:
     # ------------------------------------------------------------------
     def reset_state(self, value: bool = False) -> None:
         """Force every wire to ``value`` without generating events."""
-        self.values[:] = value
+        if self.packed:
+            self.values[:] = pack_scalar(value, 1)[0]
+        else:
+            self.values[:] = value
 
     def wire_values(self, wire: int) -> np.ndarray:
-        """Current value array of a wire (view, do not mutate)."""
+        """Current boolean values of a wire.
+
+        Boolean engine: a ``(n_traces,)`` view (do not mutate).  Packed
+        engine: an unpacked ``(n_traces,)`` copy.
+        """
+        if self.packed:
+            return unpack_bool(self.values[wire], self.n_traces)
+        return self.values[wire]
+
+    def packed_wire_values(self, wire: int) -> np.ndarray:
+        """Raw lane row of a wire in packed mode (view, do not mutate)."""
+        if not self.packed:
+            raise RuntimeError("simulator is not packed (pack_traces=False)")
         return self.values[wire]
 
     def output_values(self) -> Dict[str, np.ndarray]:
-        return {n: self.values[w].copy() for n, w in self.circuit.outputs.items()}
+        return {
+            n: self.wire_values(w).copy() if not self.packed
+            else self.wire_values(w)
+            for n, w in self.circuit.outputs.items()
+        }
 
     # ------------------------------------------------------------------
     def _coerce(self, vals: "np.ndarray | bool") -> np.ndarray:
+        if self.packed:
+            if isinstance(vals, np.ndarray):
+                if vals.dtype == np.uint64 and vals.shape == (self.n_lanes,):
+                    return vals  # already packed (harness FF events)
+                if vals.shape != (self.n_traces,):
+                    raise ValueError(
+                        f"expected shape ({self.n_traces},) bool or "
+                        f"({self.n_lanes},) uint64, got {vals.shape} "
+                        f"{vals.dtype}"
+                    )
+                return pack_bool(vals.astype(bool, copy=False))
+            return pack_scalar(bool(vals), self.n_lanes)
         if isinstance(vals, np.ndarray):
             if vals.shape != (self.n_traces,):
                 raise ValueError(
@@ -182,6 +244,16 @@ class VectorSimulator:
         gates = self.circuit.gates
         if max_events is None:
             max_events = 64 * max(1, len(gates)) + 64
+        if (
+            self.packed
+            and recorder is not None
+            and getattr(recorder, "requires_transients", False)
+        ):
+            raise RuntimeError(
+                f"{type(recorder).__name__} needs the boolean per-wire "
+                "transient stream; construct the simulator with "
+                "pack_traces=False"
+            )
         events = [(t, wire, self._coerce(vals)) for t, wire, vals in input_events]
 
         if self.compile_schedules:
@@ -199,6 +271,7 @@ class VectorSimulator:
                     t_offset,
                     max_events,
                     self.circuit,
+                    n_traces=self.n_traces if self.packed else None,
                 )
                 self.events_processed += n_evals
                 return last_t
@@ -222,7 +295,11 @@ class VectorSimulator:
         budget = max_events
         values = self.values
         fanout = self._comb_fanout
-        record = None if recorder is None else recorder.record_wire
+        record = None
+        if recorder is not None and not getattr(recorder, "is_null", False):
+            record = recorder.record_wire
+        packed = self.packed
+        n_real = self.n_traces
         while heap:
             t = heapq.heappop(heap)
             queued.discard(t)
@@ -235,7 +312,17 @@ class VectorSimulator:
                 if not toggled.any():
                     continue
                 if record is not None:
-                    record(t_offset + t, wire, toggled, new)
+                    if packed:
+                        # Lazy unpack: only wires that actually toggled
+                        # reach the boolean recorder interface.
+                        record(
+                            t_offset + t,
+                            wire,
+                            unpack_bool(toggled, n_real),
+                            unpack_bool(new, n_real),
+                        )
+                    else:
+                        record(t_offset + t, wire, toggled, new)
                 values[wire] = new
                 affected.extend(fanout.get(wire, ()))
             # 2. Re-evaluate affected gates once each; schedule outputs.

@@ -63,12 +63,18 @@ class SpecTraceSource:
         spec: GadgetSpec,
         fixed_secrets: Optional[Dict[str, int]] = None,
         bin_ps: int = 250,
+        pack_traces: "bool | str" = "auto",
     ):
         spec.validate()
         self.spec = spec
         self.period_ps = spec.resolved_period_ps
         self.total_time_ps = spec.n_cycles * self.period_ps
         self.bin_ps = bin_ps
+        #: Execution mode for per-batch harnesses
+        #: (:mod:`repro.sim.bitpack`); campaign runners overwrite this
+        #: with :attr:`CampaignConfig.pack_traces`.  The exact verifier
+        #: itself is untouched — only the sampled TVLA side packs.
+        self.pack_traces = pack_traces
         self.n_samples = -(-self.total_time_ps // bin_ps)
         self.fixed_secrets = (
             {name: 1 for name in spec.secret_names}
@@ -103,7 +109,10 @@ class SpecTraceSource:
             values[name] = rng.integers(0, 2, size=n).astype(bool)
 
         circuit = spec.circuit
-        harness = ClockedHarness(circuit, n, period_ps=self.period_ps)
+        harness = ClockedHarness(
+            circuit, n, period_ps=self.period_ps,
+            pack_traces=self.pack_traces,
+        )
         harness.preload(
             {}, {circuit.wire(name): False for name in values}
         )

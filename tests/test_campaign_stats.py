@@ -250,7 +250,12 @@ def test_config_autotune_sets_workers_and_batch():
     cfg = CampaignConfig(n_traces=100_000, batch_size=1)
     tuned = cfg.autotune(cpu_count=4)
     assert tuned.n_workers == 4
-    assert tuned.batch_size == suggest_batch_size(100_000, 4)
+    # the default pack_traces="auto" selects the packed engine at this
+    # size, so the suggestion is rounded to the 64-trace lane width
+    assert tuned.batch_size == suggest_batch_size(
+        100_000, 4, pack_traces="auto"
+    )
+    assert tuned.batch_size % 64 == 0
     assert tuned.n_traces == cfg.n_traces  # everything else untouched
     tiny = CampaignConfig(n_traces=100).autotune(cpu_count=8)
     assert tiny.n_workers == 1
