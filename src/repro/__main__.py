@@ -9,9 +9,11 @@ Examples::
     python -m repro table3
     python -m repro table1 fig14 --quick
     python -m repro verify --preset secand2_pd
+    python -m repro chaos --mode corrupt_checkpoint
 
-``verify`` is a subcommand with its own flags
-(:mod:`repro.verify.cli`); everything else is an experiment id.
+``verify`` and ``chaos`` are subcommands with their own flags
+(:mod:`repro.verify.cli`, :mod:`repro.chaos.cli`); everything else is
+an experiment id.
 """
 
 from __future__ import annotations
@@ -49,6 +51,10 @@ def main(argv=None) -> int:
         from .verify.cli import main as verify_main
 
         return verify_main(argv[1:])
+    if argv and argv[0] == "chaos":
+        from .chaos.cli import main as chaos_main
+
+        return chaos_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro", description=__doc__
@@ -63,6 +69,7 @@ def main(argv=None) -> int:
         for name in EXPERIMENTS:
             print(f"  {name}")
         print("  verify  (subcommand: python -m repro verify --help)")
+        print("  chaos   (subcommand: python -m repro chaos --help)")
         return 0
 
     for name in args.experiments:

@@ -433,6 +433,21 @@ class BenchResult:
                         f"schedules {stats['schedule_replays']} replayed / "
                         f"{stats['schedule_compiles']} compiled"
                     )
+                    recovery = {
+                        k: stats[k]
+                        for k in (
+                            "retries", "pool_rebuilds", "restarts",
+                            "watchdog_kills", "checkpoint_restores",
+                            "checkpoints_quarantined", "skipped_traces",
+                            "scavenged_segments",
+                        )
+                        if stats.get(k)
+                    }
+                    if recovery:
+                        lines.append(
+                            "  recovery: "
+                            + "  ".join(f"{k}={v}" for k, v in recovery.items())
+                        )
         cp = p.get("campaign_packed")
         if cp:
             lines.append(

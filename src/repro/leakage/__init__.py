@@ -30,7 +30,20 @@ from .transport import (
     shared_memory_available,
     unpack_shard,
 )
-from .resilient import load_checkpoint, run_campaign_resilient, save_checkpoint
+from .resilient import (
+    load_checkpoint,
+    quarantine_checkpoint,
+    run_campaign_resilient,
+    save_checkpoint,
+    validate_runner_args,
+)
+from .supervisor import (
+    CampaignInterrupted,
+    SupervisorCheckpoint,
+    load_checkpoint_supervised,
+    run_campaign_supervised,
+    save_checkpoint_supervised,
+)
 from .snr import snr
 from .prng import RandomnessSource
 
@@ -61,8 +74,15 @@ __all__ = [
     "shared_memory_available",
     "unpack_shard",
     "load_checkpoint",
+    "quarantine_checkpoint",
     "run_campaign_resilient",
     "save_checkpoint",
+    "validate_runner_args",
+    "CampaignInterrupted",
+    "SupervisorCheckpoint",
+    "load_checkpoint_supervised",
+    "run_campaign_supervised",
+    "save_checkpoint_supervised",
     "snr",
     "RandomnessSource",
 ]

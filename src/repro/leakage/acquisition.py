@@ -67,7 +67,18 @@ import numpy as np
 from ..sim.bitpack import LANE_BITS, resolve_pack_traces
 from ..sim.compiled import pin_schedule_cache, schedule_cache_counters
 from .stats import BatchRecord, CampaignStats
-from .transport import ShardPayload, pack_shard, resolve_transport, unpack_shard
+from .transport import (
+    ShardPayload,
+    adopt_shard,
+    mark_shard_sent,
+    new_campaign_prefix,
+    pack_shard,
+    resolve_transport,
+    scavenge_orphans,
+    segment_prefix,
+    set_segment_prefix,
+    unpack_shard,
+)
 from .tvla import TTestAccumulator, TvlaResult
 
 __all__ = [
@@ -417,9 +428,13 @@ _WORKER_STATE: Optional[Tuple[TraceSource, CampaignConfig, str]] = None
 
 
 def _init_worker(
-    source: TraceSource, config: CampaignConfig, transport: str
+    source: TraceSource,
+    config: CampaignConfig,
+    transport: str,
+    shm_prefix: Optional[str] = None,
 ) -> None:
     global _WORKER_STATE
+    set_segment_prefix(shm_prefix)
     _warm_source(source)
     _WORKER_STATE = (source, config, transport)
 
@@ -452,7 +467,10 @@ def _worker_batch(
             index, f"{type(exc).__name__}: {exc}", traceback.format_exc()
         )
     record.pipe_bytes = payload.pipe_bytes
-    return payload, record
+    # Ownership of a shared-memory segment moves to the parent with
+    # this return; drop it from our registry so the worker's exit
+    # finalizer can't unlink a segment the parent is about to read.
+    return mark_shard_sent(payload), record
 
 
 def _pool_context(config: CampaignConfig):
@@ -485,12 +503,18 @@ def _campaign_pool(
     in :func:`_init_worker`.
     """
     ctx = _pool_context(config)
+    if segment_prefix() is None:
+        # One prefix per campaign run: every segment any worker creates
+        # is attributable (and scavengeable) by the parent.
+        set_segment_prefix(new_campaign_prefix())
     if ctx.get_start_method() == "fork":
         warm_s = _warm_source(source)
         if stats is not None:
             stats.warmup_seconds += warm_s
     return ctx.Pool(
-        n_workers, initializer=_init_worker, initargs=(source, config, transport)
+        n_workers,
+        initializer=_init_worker,
+        initargs=(source, config, transport, segment_prefix()),
     )
 
 
@@ -531,15 +555,22 @@ def _iter_shards(
     transport = resolve_transport(config.transport, source.n_samples)
     stats.start_method = _pool_context(config).get_start_method()
     stats.transport = transport
-    with _campaign_pool(effective, source, config, transport, stats) as pool:
-        for out in pool.imap(_worker_batch, plan):
-            if isinstance(out, _WorkerFailure):
-                raise CampaignBatchError(
-                    out.index, config.label, out.message, out.traceback
-                )
-            payload, record = out
-            stats.batches.append(record)
-            yield unpack_shard(payload)
+    try:
+        with _campaign_pool(effective, source, config, transport, stats) as pool:
+            for out in pool.imap(_worker_batch, plan):
+                if isinstance(out, _WorkerFailure):
+                    raise CampaignBatchError(
+                        out.index, config.label, out.message, out.traceback
+                    )
+                payload, record = out
+                adopt_shard(payload)
+                stats.batches.append(record)
+                yield unpack_shard(payload)
+    finally:
+        # The pool is dead here (the context manager terminated it), so
+        # anything the prefix scan finds is a true orphan — in-flight
+        # shards of a cancelled run, or leftovers of killed workers.
+        stats.scavenged_segments += len(scavenge_orphans())
 
 
 def _begin_stats(config: CampaignConfig) -> CampaignStats:

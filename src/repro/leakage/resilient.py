@@ -31,6 +31,8 @@ from __future__ import annotations
 
 import os
 import time
+import warnings
+import zipfile
 from typing import Dict, Optional
 
 import numpy as np
@@ -48,13 +50,19 @@ from .acquisition import (
     resolve_n_workers,
 )
 from .stats import CampaignStats
-from .transport import resolve_transport, unpack_shard
+from .transport import (
+    adopt_shard,
+    resolve_transport,
+    scavenge_orphans,
+    unpack_shard,
+)
 from .tvla import TTestAccumulator, TvlaResult
 
 __all__ = [
     "CHECKPOINT_VERSION",
     "save_checkpoint",
     "load_checkpoint",
+    "quarantine_checkpoint",
     "run_campaign_resilient",
 ]
 
@@ -63,6 +71,59 @@ CHECKPOINT_VERSION = 1
 #: Fingerprint fields that must match between a checkpoint and the
 #: campaign resuming from it.
 _FINGERPRINT_FIELDS = ("n_traces", "batch_size", "noise_sigma", "seed", "label")
+
+
+def validate_runner_args(
+    checkpoint_every: int = 1,
+    max_retries: int = 0,
+    worker_timeout_s: Optional[float] = None,
+    backoff_s: float = 0.0,
+    warmup_batch_s: Optional[float] = None,
+) -> None:
+    """Reject runner parameter combinations that can never make progress.
+
+    A silent retry loop is worse than an immediate error: a
+    ``worker_timeout_s`` shorter than one batch's compute time kills
+    every attempt, burns ``max_retries`` pool rebuilds and then grinds
+    through the whole campaign serially — hours of wasted work that a
+    parameter check at minute zero would have prevented.
+
+    Args:
+        warmup_batch_s: Measured warm-up/first-batch wall time, when
+            the caller has one; used to catch timeouts no batch can
+            beat.
+
+    Raises:
+        ValueError: With an actionable message naming the parameter.
+    """
+    if checkpoint_every < 1:
+        raise ValueError(
+            f"checkpoint_every must be >= 1, got {checkpoint_every} (a "
+            "campaign that never checkpoints cannot resume)"
+        )
+    if max_retries < 0:
+        raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+    if backoff_s < 0:
+        raise ValueError(f"backoff_s must be >= 0, got {backoff_s}")
+    if worker_timeout_s is not None and worker_timeout_s <= 0:
+        raise ValueError(
+            f"worker_timeout_s must be > 0 (or None to wait forever), got "
+            f"{worker_timeout_s}: every batch would be declared hung "
+            "before it could start"
+        )
+    if (
+        worker_timeout_s is not None
+        and warmup_batch_s is not None
+        and warmup_batch_s > 0
+        and worker_timeout_s < warmup_batch_s
+    ):
+        raise ValueError(
+            f"worker_timeout_s={worker_timeout_s:g} is shorter than the "
+            f"measured warm-up batch time of {warmup_batch_s:.3g}s: every "
+            "batch would be killed before finishing and the campaign can "
+            "never make progress.  Raise worker_timeout_s above the batch "
+            "time (with headroom), or shrink batch_size."
+        )
 
 
 def save_checkpoint(
@@ -92,29 +153,69 @@ def save_checkpoint(
     os.replace(tmp, path)
 
 
+def quarantine_checkpoint(path: str, reason: str) -> str:
+    """Move an unreadable checkpoint aside and warn; returns the new path.
+
+    The corrupt file is preserved as ``<path>.corrupt`` for post-mortems
+    (overwriting any previous quarantine of the same path) so the
+    campaign can restart cleanly without destroying the evidence.
+    """
+    target = f"{path}.corrupt"
+    try:
+        os.replace(path, target)
+    except OSError:  # pragma: no cover - concurrent removal
+        pass
+    warnings.warn(
+        f"checkpoint {path!r} is unreadable ({reason}); quarantined to "
+        f"{target!r} and ignored",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+    return target
+
+
 def load_checkpoint(
     path: str, config: CampaignConfig, n_samples: int
 ) -> Optional[tuple]:
     """Load and validate a checkpoint.
 
+    A file that cannot be parsed at all (zero-length, truncated zip,
+    foreign bytes) is *quarantined* — renamed to ``<path>.corrupt``
+    with a warning — and treated as absent, so ``resume=True`` degrades
+    to a fresh start instead of crashing on an artifact of the previous
+    crash.
+
     Returns:
         ``(accumulator, next_batch)`` or ``None`` if no checkpoint
-        exists at ``path``.
+        exists at ``path`` (or the one that did was quarantined).
 
     Raises:
         ValueError: The checkpoint belongs to a different campaign
-            (fingerprint mismatch) or an unknown format version.
+            (fingerprint mismatch) or an unknown format version —
+            a *well-formed* file that must not be silently discarded.
     """
     if not os.path.exists(path):
         return None
-    with np.load(path, allow_pickle=False) as z:
-        data = {k: z[k] for k in z.files}
+    try:
+        with np.load(path, allow_pickle=False) as z:
+            data = {k: z[k] for k in z.files}
+    except (OSError, EOFError, zipfile.BadZipFile, ValueError, KeyError) as exc:
+        quarantine_checkpoint(path, f"{type(exc).__name__}: {exc}")
+        return None
     version = int(data.get("version", -1))
     if version != CHECKPOINT_VERSION:
         raise ValueError(
             f"checkpoint {path!r} has version {version}, expected "
             f"{CHECKPOINT_VERSION}"
         )
+    missing = [
+        k
+        for k in (*_FINGERPRINT_FIELDS, "n_samples", "next_batch")
+        if k not in data
+    ]
+    if missing:
+        quarantine_checkpoint(path, f"missing entries {missing}")
+        return None
     for name in _FINGERPRINT_FIELDS:
         have = data[name].item()
         want = getattr(config, name)
@@ -178,8 +279,12 @@ def run_campaign_resilient(
         ValueError: Checkpoint fingerprint mismatch (see
             :func:`load_checkpoint`).
     """
-    if checkpoint_every < 1:
-        raise ValueError("checkpoint_every must be >= 1")
+    validate_runner_args(
+        checkpoint_every=checkpoint_every,
+        max_retries=max_retries,
+        worker_timeout_s=worker_timeout_s,
+        backoff_s=backoff_s,
+    )
     plan = _batch_plan(config)
     requested = config.n_workers if n_workers is None else n_workers
     n_workers = resolve_n_workers(requested, len(plan))
@@ -218,7 +323,7 @@ def run_campaign_resilient(
                 if result.ready():
                     out = result.get(0)
                     if not isinstance(out, _WorkerFailure):
-                        unpack_shard(out[0])
+                        unpack_shard(adopt_shard(out[0]))
             except Exception:
                 pass
 
@@ -228,6 +333,10 @@ def run_campaign_resilient(
             drain_pending()
             pool.terminate()
             pool.join()
+            # With the pool dead, sweep the campaign's segment prefix:
+            # shards in flight when a worker died (or whose payloads we
+            # just discarded) must not outlive the rebuild.
+            stats.scavenged_segments += len(scavenge_orphans())
         pool = None
         pending = {}
         submitted = i
@@ -283,7 +392,7 @@ def run_campaign_resilient(
                         out.index, config.label, out.message, out.traceback
                     )
                 payload, record = out
-                shard = unpack_shard(payload)
+                shard = unpack_shard(adopt_shard(payload))
                 attempts = 0
             acc.merge(shard)
             stats.batches.append(record)

@@ -57,6 +57,14 @@ class CampaignStats:
     wall_seconds: float = 0.0
     warmup_seconds: float = 0.0
     pool_rebuilds: int = 0  #: resilient runner: pool teardown/retry count
+    restarts: int = 0  #: supervisor: times the campaign resumed from disk
+    watchdog_kills: int = 0  #: supervisor: pools killed by the watchdog
+    checkpoint_restores: int = 0  #: fallbacks to an older checkpoint generation
+    checkpoints_quarantined: int = 0  #: corrupt checkpoint files set aside
+    quarantined_batches: List[int] = field(default_factory=list)
+    #: traces not acquired because their batch was quarantined
+    skipped_traces: int = 0
+    scavenged_segments: int = 0  #: orphaned shm segments reclaimed
     batches: List[BatchRecord] = field(default_factory=list)
 
     # ------------------------------------------------------------------
@@ -119,21 +127,53 @@ class CampaignStats:
             "schedule_compiles": self.schedule_compiles,
             "schedule_replays": self.schedule_replays,
             "pool_rebuilds": self.pool_rebuilds,
+            "restarts": self.restarts,
+            "watchdog_kills": self.watchdog_kills,
+            "checkpoint_restores": self.checkpoint_restores,
+            "checkpoints_quarantined": self.checkpoints_quarantined,
+            "quarantined_batches": list(self.quarantined_batches),
+            "skipped_traces": self.skipped_traces,
+            "scavenged_segments": self.scavenged_segments,
             "batch_seconds": self.batch_seconds(),
         }
 
+    def robustness_events(self) -> Dict[str, int]:
+        """Non-zero recovery/cleanup counters of this campaign run.
+
+        Empty for an undisturbed campaign — the condition the summary
+        uses to keep its two-line reading two lines.
+        """
+        events = {
+            "restarts": self.restarts,
+            "pool_rebuilds": self.pool_rebuilds,
+            "watchdog_kills": self.watchdog_kills,
+            "checkpoint_restores": self.checkpoint_restores,
+            "checkpoints_quarantined": self.checkpoints_quarantined,
+            "quarantined_batches": len(self.quarantined_batches),
+            "skipped_traces": self.skipped_traces,
+            "scavenged_segments": self.scavenged_segments,
+        }
+        return {k: v for k, v in events.items() if v}
+
     def summary(self) -> str:
-        """Two-line human reading for the eval reports."""
+        """Two-line human reading (three with recovery events) for reports."""
         bs = self.batch_seconds()
         over = " OVERSUBSCRIBED" if self.oversubscribed else ""
-        return (
+        lines = [
             f"campaign: {self.n_traces} traces in {self.wall_seconds:.2f}s "
             f"({self.traces_per_second:,.0f} traces/s)  "
             f"workers={self.n_workers}/{self.cpu_count}cpu"
-            f"[{self.start_method}]{over}\n"
+            f"[{self.start_method}]{over}",
             f"  batches: {self.n_batches} x ~{self.batch_size}  "
             f"t/batch {bs['min']:.3f}/{bs['median']:.3f}/{bs['max']:.3f}s  "
             f"transport={self.transport} ({self.pipe_bytes:,} B)  "
             f"schedules: {self.schedule_replays} replayed, "
-            f"{self.schedule_compiles} compiled"
-        )
+            f"{self.schedule_compiles} compiled",
+        ]
+        events = self.robustness_events()
+        if events:
+            lines.append(
+                "  recovery: "
+                + "  ".join(f"{k}={v}" for k, v in events.items())
+            )
+        return "\n".join(lines)

@@ -1,0 +1,839 @@
+"""Crash-safe campaign supervisor.
+
+:func:`run_campaign_resilient` retries transient worker failures, but a
+production-scale TVLA campaign (the paper's Figs. 14-17 at 2M traces
+span hours across many workers) dies in harder ways: a ``kill -9``
+mid-checkpoint, a worker that hangs instead of crashing, a corrupted
+checkpoint file greeting the restart, a shared-memory segment stranded
+by an abnormal exit.  This module wraps the same acquisition machinery
+in a supervisor hardened against process-level failure:
+
+* **Checksummed, schema-versioned checkpoints** — every checkpoint
+  carries a CRC over its payload arrays; a truncated or bit-flipped
+  file is detected at load, quarantined to ``<path>.corrupt`` and the
+  campaign restarts from the last good generation instead of crashing.
+* **Double-buffered checkpoint generations** — the previous checkpoint
+  is rotated to ``<path>.prev`` before the new one lands, so a
+  ``kill -9`` at *any* instruction of :func:`save_checkpoint_supervised`
+  leaves at least one loadable generation on disk.
+* **Signal-driven graceful shutdown** — SIGINT/SIGTERM flush a final
+  checkpoint, write a ``<path>.interrupted`` resume marker and raise
+  :class:`CampaignInterrupted`; the next run resumes bitwise.
+* **Worker heartbeat / watchdog** — workers stamp a shared heartbeat
+  before and after each batch; a worker whose heartbeat goes stale
+  mid-batch (or a head batch exceeding ``worker_timeout_s``) is killed
+  with its pool and the batch is reassigned.  Kills are counted in
+  :attr:`CampaignStats.watchdog_kills`.
+* **Poison-batch quarantine** — a batch that keeps failing across
+  pool generations (``max_retries`` exceeded, failures observed from
+  at least two distinct worker generations) is recorded in
+  :attr:`CampaignStats.quarantined_batches`, its traces subtracted
+  explicitly (:attr:`CampaignStats.skipped_traces`), and the campaign
+  continues instead of aborting.  Quarantined indices persist in the
+  checkpoint, so a resumed run does not silently retry a known-poison
+  batch.
+* **Orphan scavenging** — every pool teardown and the final exit sweep
+  call :func:`repro.leakage.transport.scavenge_orphans`, so abnormal
+  exits never leak ``shared_memory`` segments.
+
+When nothing goes wrong — and when every injected failure is of a
+recoverable kind — the supervised campaign produces the bitwise
+identical :class:`TvlaResult` of a plain serial
+:func:`~repro.leakage.acquisition.run_campaign`.  Quarantining a batch
+is the one documented exception: it *explicitly* changes the trace
+count, and says so in the stats.
+
+The failure modes this supervisor claims to survive are exercised by
+the deterministic chaos harness in :mod:`repro.chaos`.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import signal
+import threading
+import time
+import zipfile
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from .acquisition import (
+    CampaignBatchError,
+    CampaignConfig,
+    TraceSource,
+    _batch_plan,
+    _init_worker,
+    _pool_context,
+    _timed_batch,
+    _warm_source,
+    _WorkerFailure,
+    _worker_batch,
+    resolve_n_workers,
+)
+from .resilient import (
+    _FINGERPRINT_FIELDS,
+    quarantine_checkpoint,
+    validate_runner_args,
+)
+from .stats import CampaignStats
+from .transport import (
+    TransportError,
+    adopt_shard,
+    new_campaign_prefix,
+    resolve_transport,
+    scavenge_orphans,
+    segment_prefix,
+    set_segment_prefix,
+    unpack_shard,
+)
+from .tvla import TTestAccumulator, TvlaResult
+
+__all__ = [
+    "SUPERVISOR_CHECKPOINT_VERSION",
+    "CampaignInterrupted",
+    "SupervisorCheckpoint",
+    "save_checkpoint_supervised",
+    "load_checkpoint_supervised",
+    "run_campaign_supervised",
+]
+
+SUPERVISOR_CHECKPOINT_VERSION = 2
+
+#: Checkpoint entries excluded from the CRC (the CRC cannot cover
+#: itself).
+_CRC_KEY = "crc32"
+
+#: Poll interval of the parent's watchdog wait loop.
+_POLL_S = 0.05
+
+
+class CampaignInterrupted(RuntimeError):
+    """The campaign stopped early but resumably.
+
+    Raised after the final checkpoint was flushed and the
+    ``<checkpoint>.interrupted`` marker written; re-running the same
+    supervised campaign with ``resume=True`` continues bitwise from
+    ``next_batch``.
+    """
+
+    def __init__(self, checkpoint_path: str, next_batch: int, reason: str):
+        super().__init__(
+            f"campaign interrupted ({reason}) after {next_batch} batches; "
+            f"state flushed to {checkpoint_path!r} — rerun with resume=True "
+            "to continue bitwise"
+        )
+        self.checkpoint_path = checkpoint_path
+        self.next_batch = next_batch
+        self.reason = reason
+
+
+# ----------------------------------------------------------------------
+# checkpoint format v2: CRC + double-buffered generations
+# ----------------------------------------------------------------------
+@dataclass
+class SupervisorCheckpoint:
+    """A validated v2 checkpoint, plus what loading it cost."""
+
+    acc: TTestAccumulator
+    next_batch: int
+    restarts: int
+    watchdog_kills: int
+    quarantined: List[int]
+    used_fallback: bool  #: True when ``<path>.prev`` had to be used
+    files_quarantined: int  #: corrupt generations set aside during load
+
+
+def _payload_crc(arrays: Dict[str, np.ndarray]) -> int:
+    """CRC32 over every payload array's bytes, in sorted key order."""
+    crc = 0
+    for key in sorted(arrays):
+        if key == _CRC_KEY:
+            continue
+        crc = zlib.crc32(key.encode(), crc)
+        crc = zlib.crc32(np.ascontiguousarray(arrays[key]).tobytes(), crc)
+    return crc & 0xFFFFFFFF
+
+
+def _previous_path(path: str) -> str:
+    return f"{path}.prev"
+
+
+def marker_path(path: str) -> str:
+    """The resumable-interruption marker next to checkpoint ``path``."""
+    return f"{path}.interrupted"
+
+
+def save_checkpoint_supervised(
+    path: str,
+    acc: TTestAccumulator,
+    config: CampaignConfig,
+    next_batch: int,
+    restarts: int = 0,
+    watchdog_kills: int = 0,
+    quarantined: "Optional[List[int]]" = None,
+) -> None:
+    """Write a checksummed v2 checkpoint, keeping the previous generation.
+
+    Write order is crash-safe at every instruction boundary:
+
+    1. the new state goes to ``<path>.tmp`` (flushed and fsynced);
+    2. the current ``<path>`` — if any — rotates to ``<path>.prev``;
+    3. ``<path>.tmp`` replaces ``<path>``.
+
+    A ``kill -9`` during (1) leaves both generations untouched; during
+    (2)/(3) the previous generation survives as ``<path>`` or
+    ``<path>.prev``, and the loader falls back.  Nothing is ever
+    modified in place.
+    """
+    arrays: Dict[str, np.ndarray] = dict(acc.state())
+    arrays["version"] = np.asarray(
+        SUPERVISOR_CHECKPOINT_VERSION, dtype=np.int64
+    )
+    arrays["next_batch"] = np.asarray(int(next_batch), dtype=np.int64)
+    arrays["n_traces"] = np.asarray(config.n_traces, dtype=np.int64)
+    arrays["batch_size"] = np.asarray(config.batch_size, dtype=np.int64)
+    arrays["noise_sigma"] = np.asarray(config.noise_sigma, dtype=np.float64)
+    arrays["seed"] = np.asarray(config.seed, dtype=np.int64)
+    arrays["label"] = np.asarray(config.label)
+    arrays["restarts"] = np.asarray(int(restarts), dtype=np.int64)
+    arrays["watchdog_kills"] = np.asarray(int(watchdog_kills), dtype=np.int64)
+    arrays["quarantined"] = np.asarray(
+        sorted(quarantined or ()), dtype=np.int64
+    )
+    arrays[_CRC_KEY] = np.asarray(_payload_crc(arrays), dtype=np.uint32)
+    tmp = f"{path}.tmp"
+    with open(tmp, "wb") as f:
+        np.savez(f, **arrays)
+        f.flush()
+        os.fsync(f.fileno())
+    if os.path.exists(path):
+        os.replace(path, _previous_path(path))
+    os.replace(tmp, path)
+
+
+def _read_v2(
+    path: str, config: CampaignConfig, n_samples: int
+) -> "Optional[SupervisorCheckpoint]":
+    """One generation: parse, CRC-check and fingerprint-check ``path``.
+
+    Returns ``None`` (after quarantining the file) for anything
+    unparseable or checksum-corrupt; raises ``ValueError`` only for
+    well-formed checkpoints of a *different* campaign.
+    """
+    try:
+        with np.load(path, allow_pickle=False) as z:
+            data = {k: z[k] for k in z.files}
+    except (OSError, EOFError, zipfile.BadZipFile, ValueError, KeyError) as exc:
+        quarantine_checkpoint(path, f"{type(exc).__name__}: {exc}")
+        return None
+    required = {
+        _CRC_KEY, "version", "next_batch", "n_samples",
+        "restarts", "watchdog_kills", "quarantined", *_FINGERPRINT_FIELDS,
+    }
+    missing = sorted(required - set(data))
+    if missing:
+        quarantine_checkpoint(path, f"missing entries {missing}")
+        return None
+    if int(data["version"]) != SUPERVISOR_CHECKPOINT_VERSION:
+        quarantine_checkpoint(
+            path,
+            f"unsupported checkpoint version {int(data['version'])} "
+            f"(supervisor writes v{SUPERVISOR_CHECKPOINT_VERSION})",
+        )
+        return None
+    if _payload_crc(data) != int(data[_CRC_KEY]):
+        quarantine_checkpoint(
+            path,
+            f"CRC mismatch (stored {int(data[_CRC_KEY]):#010x}, computed "
+            f"{_payload_crc(data):#010x}) — payload corrupt",
+        )
+        return None
+    for name in _FINGERPRINT_FIELDS:
+        have = data[name].item()
+        want = getattr(config, name)
+        if have != want:
+            raise ValueError(
+                f"checkpoint {path!r} belongs to a different campaign: "
+                f"{name} is {have!r} in the checkpoint but {want!r} in "
+                "the config (refusing to merge incompatible sums)"
+            )
+    if int(data["n_samples"]) != int(n_samples):
+        raise ValueError(
+            f"checkpoint {path!r} has {int(data['n_samples'])} samples "
+            f"per trace but the source produces {n_samples}"
+        )
+    return SupervisorCheckpoint(
+        acc=TTestAccumulator.from_state(data),
+        next_batch=int(data["next_batch"]),
+        restarts=int(data["restarts"]),
+        watchdog_kills=int(data["watchdog_kills"]),
+        quarantined=[int(q) for q in data["quarantined"]],
+        used_fallback=False,
+        files_quarantined=0,
+    )
+
+
+def load_checkpoint_supervised(
+    path: str, config: CampaignConfig, n_samples: int
+) -> "Optional[SupervisorCheckpoint]":
+    """Load the newest good checkpoint generation.
+
+    Tries ``path`` first, then ``<path>.prev``.  Corrupt generations
+    are quarantined (``.corrupt``) with a warning and skipped; the
+    fallback costs at most ``checkpoint_every`` re-simulated batches
+    and keeps the resumed result bitwise identical.
+
+    Returns ``None`` when no generation is loadable — the campaign
+    starts fresh.
+    """
+    files_quarantined = 0
+    for candidate, is_fallback in (
+        (path, False),
+        (_previous_path(path), True),
+    ):
+        if not os.path.exists(candidate):
+            continue
+        before = os.path.exists(candidate)
+        loaded = _read_v2(candidate, config, n_samples)
+        if loaded is None:
+            if before and not os.path.exists(candidate):
+                files_quarantined += 1
+            continue
+        loaded.used_fallback = is_fallback
+        loaded.files_quarantined = files_quarantined
+        return loaded
+    return None
+
+
+# ----------------------------------------------------------------------
+# worker-side heartbeat plumbing
+# ----------------------------------------------------------------------
+# Heartbeat layout: 3 doubles per worker slot —
+#   [0] last beat (time.monotonic, comparable across processes on the
+#       platforms the pool runs on), [1] batch index, [2] busy flag.
+_HB = None
+_HB_SLOTS = 0
+_MY_SLOT = -1
+
+
+def _init_supervised_worker(
+    source: TraceSource,
+    config: CampaignConfig,
+    transport: str,
+    shm_prefix: Optional[str],
+    hb,
+    slot_counter,
+    n_slots: int,
+    worker_setup,
+) -> None:
+    """Pool initializer: campaign state + heartbeat slot + chaos hooks."""
+    global _HB, _HB_SLOTS, _MY_SLOT
+    _init_worker(source, config, transport, shm_prefix)
+    _HB = hb
+    _HB_SLOTS = n_slots
+    with slot_counter.get_lock():
+        _MY_SLOT = slot_counter.value % n_slots
+        slot_counter.value += 1
+    if worker_setup is not None:
+        worker_setup()
+
+
+def _supervised_worker_batch(item: Tuple[int, int]):
+    """One batch with heartbeat stamps around the acquisition."""
+    index, _ = item
+    if _HB is not None and _MY_SLOT >= 0:
+        base = 3 * _MY_SLOT
+        _HB[base] = time.monotonic()
+        _HB[base + 1] = float(index)
+        _HB[base + 2] = 1.0
+    out = _worker_batch(item)
+    if _HB is not None and _MY_SLOT >= 0:
+        base = 3 * _MY_SLOT
+        _HB[base] = time.monotonic()
+        _HB[base + 2] = 0.0
+    return out
+
+
+class _HungPool(Exception):
+    """Internal: the watchdog (or head-batch deadline) fired."""
+
+    def __init__(self, why: str):
+        super().__init__(why)
+        self.why = why
+
+
+def _await_result(
+    result,
+    deadline: Optional[float],
+    hb,
+    n_slots: int,
+    watchdog_timeout_s: Optional[float],
+):
+    """Wait for the head batch, watching heartbeats while we do.
+
+    Raises :class:`_HungPool` when the head batch blows its deadline or
+    any busy worker's heartbeat goes stale — both are treated as a hang
+    and answered with a pool kill + batch reassignment.
+    """
+    while True:
+        try:
+            return result.get(timeout=_POLL_S)
+        except multiprocessing.TimeoutError as exc:
+            now = time.monotonic()
+            if deadline is not None and now > deadline:
+                raise _HungPool("head batch exceeded worker_timeout_s") from exc
+            if hb is not None and watchdog_timeout_s is not None:
+                for slot in range(n_slots):
+                    base = 3 * slot
+                    busy = hb[base + 2] > 0.5
+                    beat = hb[base]
+                    if busy and beat > 0 and now - beat > watchdog_timeout_s:
+                        raise _HungPool(
+                            f"worker slot {slot} heartbeat stale for "
+                            f">{watchdog_timeout_s:g}s on batch "
+                            f"{int(hb[base + 1])}"
+                        ) from exc
+
+
+# ----------------------------------------------------------------------
+# the supervisor
+# ----------------------------------------------------------------------
+@dataclass
+class _BatchFailureLog:
+    """Per-batch failure accounting behind poison-batch quarantine."""
+
+    counts: Dict[int, int] = field(default_factory=dict)
+    origins: Dict[int, Set[str]] = field(default_factory=dict)
+
+    def record(self, index: int, origin: str) -> None:
+        self.counts[index] = self.counts.get(index, 0) + 1
+        self.origins.setdefault(index, set()).add(origin)
+
+    def is_poison(self, index: int, max_retries: int) -> bool:
+        """Failed more than ``max_retries`` times across >= 2 origins.
+
+        The two-origin requirement distinguishes a poisoned *batch*
+        from a broken *worker generation*: one bad pool can fail any
+        batch, but only a batch that takes down independent workers is
+        condemned.
+        """
+        return (
+            self.counts.get(index, 0) > max_retries
+            and len(self.origins.get(index, ())) >= 2
+        )
+
+
+def run_campaign_supervised(
+    source: TraceSource,
+    config: CampaignConfig,
+    checkpoint_path: str,
+    n_workers: Optional[int] = None,
+    checkpoint_every: int = 1,
+    max_retries: int = 2,
+    worker_timeout_s: Optional[float] = None,
+    watchdog_timeout_s: Optional[float] = None,
+    backoff_s: float = 0.5,
+    resume: bool = True,
+    cleanup: bool = True,
+    quarantine_batches: bool = True,
+    handle_signals: bool = True,
+    stop_after_batches: Optional[int] = None,
+    chaos=None,
+) -> TvlaResult:
+    """Run a fixed-vs-random campaign under the hardened supervisor.
+
+    Args:
+        source: Device under test.
+        config: Campaign parameters (checkpoint fingerprint).
+        checkpoint_path: Base path of the ``.npz`` checkpoint; the
+            supervisor also manages ``<path>.prev`` (previous
+            generation), ``<path>.corrupt`` (quarantine) and
+            ``<path>.interrupted`` (resume marker).
+        n_workers: Process count (``None`` = ``config.n_workers``).
+        checkpoint_every: Checkpoint cadence in merged batches.
+        max_retries: Failures tolerated per batch before quarantining
+            it (parallel, failures from >= 2 pool generations) or
+            degrading to serial execution.
+        worker_timeout_s: Hard deadline for the head batch.  ``None``
+            relies on the heartbeat watchdog alone.
+        watchdog_timeout_s: Heartbeat staleness threshold; a busy
+            worker silent for longer is declared hung and its pool
+            killed.  ``None`` defaults to ``worker_timeout_s``.
+        backoff_s: Exponential-backoff base between pool rebuilds.
+        resume: Load the newest good checkpoint generation (default).
+        cleanup: Delete checkpoint generations and the interruption
+            marker after a completed run.
+        quarantine_batches: Enable poison-batch quarantine.  ``False``
+            reproduces the resilient runner's abort-on-deterministic-
+            failure behaviour.
+        handle_signals: Install SIGINT/SIGTERM handlers (main thread
+            only) that flush a final checkpoint and raise
+            :class:`CampaignInterrupted`.
+        stop_after_batches: Merge at most this many batches in this
+            process, then checkpoint and raise
+            :class:`CampaignInterrupted` — time-sliced operation for
+            schedulers, and the chaos harness's injection point for
+            checkpoint-corruption scenarios.
+        chaos: Optional chaos policy (duck-typed, see
+            :mod:`repro.chaos`): ``worker_setup`` is invoked in every
+            pool worker, ``post_checkpoint(path, next_batch)`` after
+            every checkpoint write.
+
+    Returns:
+        The campaign's :class:`TvlaResult`, bitwise identical to an
+        undisturbed serial run unless batches were quarantined — in
+        which case ``result.stats.quarantined_batches`` and
+        ``result.stats.skipped_traces`` say exactly what is missing.
+
+    Raises:
+        CampaignInterrupted: Signal received or ``stop_after_batches``
+            reached; state is on disk and resumable.
+        CampaignBatchError: A batch failed beyond recovery policy.
+        ValueError: Invalid runner arguments, a timeout no batch can
+            beat, or a checkpoint of a different campaign.
+    """
+    validate_runner_args(
+        checkpoint_every=checkpoint_every,
+        max_retries=max_retries,
+        worker_timeout_s=worker_timeout_s,
+        backoff_s=backoff_s,
+    )
+    if watchdog_timeout_s is None:
+        watchdog_timeout_s = worker_timeout_s
+    if stop_after_batches is not None and stop_after_batches < 1:
+        raise ValueError(
+            f"stop_after_batches must be >= 1, got {stop_after_batches}"
+        )
+
+    plan = _batch_plan(config)
+    requested = config.n_workers if n_workers is None else n_workers
+    n_workers = resolve_n_workers(requested, len(plan))
+    transport = resolve_transport(config.transport, source.n_samples)
+    if segment_prefix() is None:
+        set_segment_prefix(new_campaign_prefix())
+
+    stats = CampaignStats(
+        label=config.label,
+        n_traces=config.n_traces,
+        batch_size=config.batch_size,
+        requested_workers=requested,
+        cpu_count=os.cpu_count() or 1,
+    )
+    stats.oversubscribed = n_workers > stats.cpu_count
+
+    # Warm the source now (a no-op for sources without ``warmup()``):
+    # the pool build would do it anyway, and the measured time lets the
+    # progress validator reject a worker_timeout_s no batch can beat
+    # *before* hours of retry loops, not after.
+    warmup_s = _warm_source(source)
+    stats.warmup_seconds += warmup_s
+    validate_runner_args(
+        checkpoint_every=checkpoint_every,
+        max_retries=max_retries,
+        worker_timeout_s=worker_timeout_s,
+        backoff_s=backoff_s,
+        warmup_batch_s=warmup_s if warmup_s > 0 else None,
+    )
+
+    acc = TTestAccumulator(source.n_samples)
+    start = 0
+    quarantined: List[int] = []
+    if resume:
+        loaded = load_checkpoint_supervised(
+            checkpoint_path, config, source.n_samples
+        )
+        if loaded is not None:
+            acc, start = loaded.acc, loaded.next_batch
+            quarantined = list(loaded.quarantined)
+            stats.restarts = loaded.restarts + 1
+            stats.watchdog_kills = loaded.watchdog_kills
+            stats.checkpoint_restores += int(loaded.used_fallback)
+            stats.checkpoints_quarantined += loaded.files_quarantined
+        else:
+            if os.path.exists(checkpoint_path) or os.path.exists(
+                _previous_path(checkpoint_path)
+            ):  # pragma: no cover - both-corrupt double fault
+                stats.checkpoints_quarantined += 1
+    stats.quarantined_batches = quarantined
+    stats.skipped_traces = sum(plan[q][1] for q in quarantined)
+
+    post_checkpoint = getattr(chaos, "post_checkpoint", None)
+    worker_setup = getattr(chaos, "worker_setup", None)
+
+    def flush(next_batch: int) -> None:
+        save_checkpoint_supervised(
+            checkpoint_path,
+            acc,
+            config,
+            next_batch=next_batch,
+            restarts=stats.restarts,
+            watchdog_kills=stats.watchdog_kills,
+            quarantined=quarantined,
+        )
+        if post_checkpoint is not None:
+            post_checkpoint(checkpoint_path, next_batch)
+
+    # --- signal handling: flush, mark, exit resumably ------------------
+    stop_signal: List[int] = []
+    installed: List[Tuple[int, object]] = []
+    if handle_signals and threading.current_thread() is threading.main_thread():
+        def _on_signal(signum, frame):  # pragma: no cover - timing-dependent
+            stop_signal.append(signum)
+
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                installed.append((signum, signal.getsignal(signum)))
+                signal.signal(signum, _on_signal)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
+
+    def interrupt(reason: str, next_batch: int) -> "CampaignInterrupted":
+        # Flush only un-checkpointed progress: a redundant save would
+        # rotate the generations once more for nothing (and, under
+        # chaos, hide damage the last save already took).
+        nonlocal dirty
+        if dirty or not os.path.exists(checkpoint_path):
+            flush(next_batch)
+            dirty = False
+        with open(marker_path(checkpoint_path), "w") as f:
+            json.dump(
+                {
+                    "label": config.label,
+                    "next_batch": next_batch,
+                    "n_batches": len(plan),
+                    "reason": reason,
+                },
+                f,
+            )
+        return CampaignInterrupted(checkpoint_path, next_batch, reason)
+
+    t_start = time.perf_counter()
+    failures = _BatchFailureLog()
+    i = start
+    attempts = 0  # consecutive failures without merging progress
+    pool = None
+    pool_gen = 0
+    hb = None
+    pending: Dict[int, object] = {}
+    submitted = i
+    merged_this_run = 0
+    dirty = False
+
+    def drain_pending() -> None:
+        for result in pending.values():
+            try:
+                if result.ready():
+                    out = result.get(0)
+                    if not isinstance(out, _WorkerFailure):
+                        unpack_shard(adopt_shard(out[0]))
+            except Exception:
+                pass
+
+    def teardown_pool() -> None:
+        nonlocal pool, pending, submitted, hb
+        if pool is not None:
+            drain_pending()
+            pool.terminate()
+            pool.join()
+            stats.scavenged_segments += len(scavenge_orphans())
+        pool = None
+        hb = None
+        pending = {}
+        submitted = i
+
+    def on_batch_failure(index: int, origin: str, why: str) -> "Optional[str]":
+        """Shared retry/quarantine/degrade policy.  Returns an action."""
+        nonlocal attempts
+        failures.record(index, origin)
+        attempts += 1
+        if quarantine_batches and failures.is_poison(index, max_retries):
+            quarantined.append(index)
+            stats.quarantined_batches = quarantined
+            stats.skipped_traces += plan[index][1]
+            attempts = 0
+            return "quarantine"
+        if attempts > max_retries:
+            return "give_up"
+        time.sleep(backoff_s * (2 ** (attempts - 1)))
+        return "retry"
+
+    try:
+        while i < len(plan):
+            if stop_signal:
+                raise interrupt(
+                    f"signal {signal.Signals(stop_signal[0]).name}", i
+                )
+            if i in quarantined:
+                i += 1
+                continue
+            if (
+                stop_after_batches is not None
+                and merged_this_run >= stop_after_batches
+            ):
+                raise interrupt("stop_after_batches", i)
+
+            index, n = plan[i]
+            if n_workers <= 1:
+                stats.start_method = "serial"
+                stats.transport = "none"
+                try:
+                    shard, record = _timed_batch(source, config, index, n)
+                except Exception as exc:
+                    action = on_batch_failure(
+                        index, "serial", f"{type(exc).__name__}: {exc}"
+                    )
+                    if action == "quarantine":
+                        i += 1
+                        continue
+                    if action == "give_up":
+                        raise CampaignBatchError(
+                            index, config.label, f"{type(exc).__name__}: {exc}"
+                        ) from exc
+                    continue
+            else:
+                if pool is None:
+                    ctx = _pool_context(config)
+                    hb = ctx.Array("d", 3 * n_workers)
+                    slot_counter = ctx.Value("i", 0)
+                    if ctx.get_start_method() == "fork":
+                        stats.warmup_seconds += _warm_source(source)
+                    pool = ctx.Pool(
+                        n_workers,
+                        initializer=_init_supervised_worker,
+                        initargs=(
+                            source,
+                            config,
+                            transport,
+                            segment_prefix(),
+                            hb,
+                            slot_counter,
+                            n_workers,
+                            worker_setup,
+                        ),
+                    )
+                    pool_gen += 1
+                    stats.n_workers = n_workers
+                    stats.transport = transport
+                    stats.start_method = ctx.get_start_method()
+                    pending = {}
+                    submitted = i
+                while submitted < len(plan) and submitted - i < 2 * n_workers:
+                    if submitted in quarantined:
+                        submitted += 1
+                        continue
+                    pending[submitted] = pool.apply_async(
+                        _supervised_worker_batch, (plan[submitted],)
+                    )
+                    submitted += 1
+                deadline = (
+                    time.monotonic() + worker_timeout_s
+                    if worker_timeout_s is not None
+                    else None
+                )
+                try:
+                    out = pending.pop(i)
+                except KeyError:  # pragma: no cover - defensive
+                    continue
+                try:
+                    out = _await_result(
+                        out, deadline, hb, n_workers, watchdog_timeout_s
+                    )
+                    if isinstance(out, _WorkerFailure):
+                        raise CampaignBatchError(
+                            out.index, config.label, out.message, out.traceback
+                        )
+                    payload, record = out
+                    shard = unpack_shard(adopt_shard(payload))
+                except _HungPool as hung:
+                    stats.watchdog_kills += 1
+                    stats.pool_rebuilds += 1
+                    teardown_pool()
+                    action = on_batch_failure(index, f"pool-{pool_gen}", hung.why)
+                    if action == "quarantine":
+                        i += 1
+                    elif action == "give_up":
+                        n_workers = 1  # permanent serial degradation
+                        attempts = 0
+                    continue
+                except CampaignBatchError as exc:
+                    # Deterministic in-worker failure: the resilient
+                    # runner aborts here; the supervisor gives the
+                    # batch max_retries more chances (fresh pool — the
+                    # failure may be environmental) before quarantining
+                    # or giving up.
+                    stats.pool_rebuilds += 1
+                    teardown_pool()
+                    if not quarantine_batches:
+                        raise
+                    action = on_batch_failure(index, f"pool-{pool_gen}", str(exc))
+                    if action == "quarantine":
+                        i += 1
+                    elif action == "give_up":
+                        raise
+                    continue
+                except TransportError as exc:
+                    # The shard vanished between worker and parent —
+                    # re-simulate the batch; the moments are recomputable.
+                    stats.pool_rebuilds += 1
+                    teardown_pool()
+                    action = on_batch_failure(index, f"pool-{pool_gen}", str(exc))
+                    if action == "quarantine":
+                        i += 1
+                    elif action == "give_up":
+                        raise CampaignBatchError(
+                            index, config.label, f"transport: {exc}"
+                        ) from exc
+                    continue
+                except Exception as exc:
+                    # Broken pool, lost worker, pickling failure: all
+                    # retryable by rebuild, exactly as in the resilient
+                    # runner.
+                    stats.pool_rebuilds += 1
+                    teardown_pool()
+                    action = on_batch_failure(
+                        index, f"pool-{pool_gen}", f"{type(exc).__name__}: {exc}"
+                    )
+                    if action == "quarantine":
+                        i += 1
+                    elif action == "give_up":
+                        n_workers = 1
+                        attempts = 0
+                    continue
+            acc.merge(shard)
+            stats.batches.append(record)
+            attempts = 0
+            i += 1
+            merged_this_run += 1
+            dirty = True
+            if (i - start) % checkpoint_every == 0:
+                flush(i)
+                dirty = False
+    finally:
+        for signum, old in installed:
+            try:
+                signal.signal(signum, old)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
+        teardown_pool()
+        stats.scavenged_segments += len(scavenge_orphans())
+        if dirty and i < len(plan):
+            flush(i)
+
+    stats.wall_seconds = time.perf_counter() - t_start
+    if cleanup:
+        for leftover in (
+            checkpoint_path,
+            _previous_path(checkpoint_path),
+            marker_path(checkpoint_path),
+            f"{checkpoint_path}.tmp",
+        ):
+            if os.path.exists(leftover):
+                os.remove(leftover)
+    else:
+        flush(i)
+    return acc.result(label=config.label, stats=stats)

@@ -43,15 +43,40 @@ adopts it without the matrix ever touching a pipe.
 
 Ownership protocol: the **creating** process calls :meth:`close` (and
 deregisters itself); the **consuming** process calls :meth:`unlink`
-after reading.  A consumer that never materialises leaks the segment
-until interpreter shutdown — the campaign runners always consume or
-unlink in a ``finally``.
+after reading.  A consumer that never materialises would historically
+leak the segment until interpreter shutdown; the scavenger below
+closes that hole.
+
+Orphan scavenging
+-----------------
+A segment whose creator was SIGKILLed mid-batch, or whose consumer
+died between send and :func:`unpack_shard`, has no process left that
+knows its name — under the old anonymous naming it leaked until
+reboot.  Three mechanisms close the hole:
+
+* every process keeps a **segment registry** (:data:`_LIVE_SEGMENTS`)
+  of names it created or adopted and has not yet released; an
+  ``atexit`` finalizer unlinks whatever is still registered when the
+  process exits normally;
+* campaign runners install a per-campaign **segment prefix**
+  (:func:`set_segment_prefix` / :func:`new_campaign_prefix`), so every
+  segment of one campaign run carries a recognisable name;
+* :func:`scavenge_orphans` unlinks everything in the registry *plus* —
+  on platforms exposing ``/dev/shm`` — any on-disk segment matching
+  the campaign prefix, which covers segments created by workers that
+  died before their names ever reached the parent.  The campaign
+  teardown paths call it after the pool is terminated, when no live
+  worker can still be mid-creation.
 """
 
 from __future__ import annotations
 
+import atexit
+import os
+import secrets
+import warnings
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Callable, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -60,12 +85,21 @@ from .tvla import TTestAccumulator
 __all__ = [
     "TRANSPORTS",
     "SHM_THRESHOLD_BYTES",
+    "SEGMENT_PREFIX_ROOT",
     "ShardPayload",
+    "TransportError",
     "shared_memory_available",
     "resolve_transport",
     "pack_shard",
     "unpack_shard",
+    "mark_shard_sent",
+    "adopt_shard",
     "SharedTraceBuffer",
+    "new_campaign_prefix",
+    "set_segment_prefix",
+    "segment_prefix",
+    "scavenge_orphans",
+    "set_chaos_hook",
 ]
 
 #: Recognised transport names (``CampaignConfig.transport``).
@@ -78,6 +112,182 @@ SHM_THRESHOLD_BYTES = 1 << 20
 #: Pickle overhead of a small payload tuple (header, ints, short
 #: strings) — used to estimate pipe traffic without re-serialising.
 _PIPE_OVERHEAD = 160
+
+#: All named segments start with this, so a scavenger scan can
+#: recognise ours without ever touching another application's segments.
+SEGMENT_PREFIX_ROOT = "repro-shm"
+
+#: Names this process created or adopted and has not yet released.
+_LIVE_SEGMENTS: Set[str] = set()
+
+#: Per-campaign segment-name prefix (``None`` = anonymous names, the
+#: pre-scavenger behaviour).  Campaign runners set it in the parent and
+#: in every worker so orphans are attributable to one run.
+_SEGMENT_PREFIX: Optional[str] = None
+
+_SEGMENT_COUNTER = 0
+
+#: Chaos seam: when set, called with each freshly created segment name
+#: (worker side, after the payload is written).  The chaos harness uses
+#: it to drop segments and prove the campaign survives; it is never set
+#: in production.
+_CHAOS_HOOK: Optional[Callable[[str], None]] = None
+
+
+class TransportError(RuntimeError):
+    """A shard/trace segment could not be attached or read.
+
+    Raised with the failed component named (segment name, stage), so a
+    supervisor can attribute the failure to the transport layer and
+    retry the batch instead of surfacing a bare ``FileNotFoundError``.
+    """
+
+    def __init__(self, component: str, name: str, message: str):
+        super().__init__(
+            f"transport failure in {component} (segment {name!r}): {message}"
+        )
+        self.component = component
+        self.segment_name = name
+
+
+def set_chaos_hook(hook: "Optional[Callable[[str], None]]") -> None:
+    """Install (or clear, with ``None``) the segment-creation chaos hook."""
+    global _CHAOS_HOOK
+    _CHAOS_HOOK = hook
+
+
+def new_campaign_prefix() -> str:
+    """A fresh per-campaign segment prefix, unique to this run."""
+    return f"{SEGMENT_PREFIX_ROOT}-{os.getpid()}-{secrets.token_hex(4)}"
+
+
+def set_segment_prefix(prefix: Optional[str]) -> None:
+    """Name all future segments under ``prefix`` (``None`` = anonymous).
+
+    Campaign runners call this in the parent before building a pool and
+    forward the prefix to workers, so every segment of the run is
+    recognisable to :func:`scavenge_orphans`.
+    """
+    global _SEGMENT_PREFIX
+    _SEGMENT_PREFIX = prefix
+
+
+def segment_prefix() -> Optional[str]:
+    """The segment-name prefix currently in force in this process."""
+    return _SEGMENT_PREFIX
+
+
+def _create_segment(nbytes: int):
+    """A fresh shared-memory segment, named under the campaign prefix.
+
+    Falls back to an anonymous segment when no prefix is installed or
+    the platform rejects our names.  The name is registered in this
+    process's segment registry; the caller owns releasing it (directly
+    or by shipping it to a consumer that does).
+    """
+    global _SEGMENT_COUNTER
+    from multiprocessing import shared_memory
+
+    shm = None
+    if _SEGMENT_PREFIX is not None:
+        for _ in range(8):  # name collisions are one-in-2^32; be safe anyway
+            _SEGMENT_COUNTER += 1
+            name = f"{_SEGMENT_PREFIX}-{os.getpid()}-{_SEGMENT_COUNTER}"
+            try:
+                shm = shared_memory.SharedMemory(
+                    name=name, create=True, size=nbytes
+                )
+                break
+            except FileExistsError:  # pragma: no cover - stale leftover
+                continue
+            except (OSError, ValueError):  # pragma: no cover - name rules
+                break
+    if shm is None:
+        shm = shared_memory.SharedMemory(create=True, size=nbytes)
+    _LIVE_SEGMENTS.add(shm.name)
+    return shm
+
+
+def _adopt_segment(name: str) -> None:
+    """Record that this process now owns releasing ``name``."""
+    _LIVE_SEGMENTS.add(name)
+
+
+def _release_segment(name: str) -> None:
+    """Drop ``name`` from the registry (it was unlinked or handed off)."""
+    _LIVE_SEGMENTS.discard(name)
+
+
+def _unlink_quietly(name: str) -> bool:
+    """Unlink segment ``name`` if it still exists; True when it did."""
+    from multiprocessing import shared_memory
+
+    try:
+        shm = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    except OSError:  # pragma: no cover - permission races
+        return False
+    try:
+        shm.close()
+        shm.unlink()
+    except FileNotFoundError:  # pragma: no cover - lost a race
+        return False
+    return True
+
+
+def scavenge_orphans(prefix: Optional[str] = None) -> List[str]:
+    """Unlink every orphaned segment this process can attribute to itself.
+
+    Two sweeps:
+
+    1. the process-local registry — segments created or adopted here
+       whose release never happened (consumer died between send and
+       :func:`unpack_shard`, exception between publish and
+       materialise);
+    2. with ``prefix`` (or a campaign prefix installed via
+       :func:`set_segment_prefix`), a scan of ``/dev/shm`` for on-disk
+       segments carrying that prefix — segments created by a worker
+       that died before its payload reached any registry.  Only names
+       under the given campaign prefix are touched, never another
+       run's.
+
+    Call after pool teardown (no live worker mid-creation).  Returns
+    the names actually unlinked; an empty list means no leaks.
+    """
+    scavenged: List[str] = []
+    for name in sorted(_LIVE_SEGMENTS):
+        if _unlink_quietly(name):
+            scavenged.append(name)
+    _LIVE_SEGMENTS.clear()
+    scan = prefix if prefix is not None else _SEGMENT_PREFIX
+    shm_dir = "/dev/shm"
+    if scan and scan.startswith(SEGMENT_PREFIX_ROOT) and os.path.isdir(shm_dir):
+        try:
+            entries = os.listdir(shm_dir)
+        except OSError:  # pragma: no cover - exotic mounts
+            entries = []
+        for entry in entries:
+            if entry.startswith(scan) and _unlink_quietly(entry):
+                scavenged.append(entry)
+    return scavenged
+
+
+@atexit.register
+def _scavenge_at_exit() -> None:  # pragma: no cover - interpreter teardown
+    """Process finalizer: release whatever this process still owns.
+
+    Registry-only on purpose — at interpreter exit another process of
+    the same campaign may still be running, so the prefix scan (which
+    would unlink *its* in-flight segments) is left to the campaign
+    teardown paths.
+    """
+    try:
+        for name in list(_LIVE_SEGMENTS):
+            _unlink_quietly(name)
+        _LIVE_SEGMENTS.clear()
+    except Exception:
+        pass
 
 
 def shared_memory_available() -> bool:
@@ -144,9 +354,9 @@ def pack_shard(acc: TTestAccumulator, transport: str) -> ShardPayload:
             moments=packed,
             pipe_bytes=packed.nbytes + _PIPE_OVERHEAD,
         )
-    from multiprocessing import resource_tracker, shared_memory
+    from multiprocessing import resource_tracker
 
-    shm = shared_memory.SharedMemory(create=True, size=packed.nbytes)
+    shm = _create_segment(packed.nbytes)
     np.ndarray(packed.shape, np.float64, buffer=shm.buf)[:] = packed
     name = shm.name
     shm.close()
@@ -158,6 +368,8 @@ def pack_shard(acc: TTestAccumulator, transport: str) -> ShardPayload:
         resource_tracker.unregister(shm._name, "shared_memory")
     except Exception:
         pass
+    if _CHAOS_HOOK is not None:
+        _CHAOS_HOOK(name)
     return ShardPayload(
         n_samples=acc.n_samples,
         fixed_n=acc._fixed.n,
@@ -167,10 +379,40 @@ def pack_shard(acc: TTestAccumulator, transport: str) -> ShardPayload:
     )
 
 
+def mark_shard_sent(payload: ShardPayload) -> ShardPayload:
+    """Hand shard ownership to the consumer (worker side, pre-return).
+
+    Drops the segment from the creator's registry so the creator's exit
+    finalizer cannot unlink a segment the parent is about to read.  The
+    send→unpack window is covered by the parent adopting the name on
+    receipt (:func:`adopt_shard`) and, for payloads that never arrive,
+    by the campaign-prefix scan in :func:`scavenge_orphans`.
+    """
+    if payload.shm_name is not None:
+        _release_segment(payload.shm_name)
+    return payload
+
+
+def adopt_shard(payload: ShardPayload) -> ShardPayload:
+    """Register a received shard's segment in this process (parent side).
+
+    From this point the parent's registry (and exit finalizer) covers
+    the segment even if :func:`unpack_shard` is never reached — the
+    ownership hole a consumer death used to open.
+    """
+    if payload.shm_name is not None:
+        _adopt_segment(payload.shm_name)
+    return payload
+
+
 def unpack_shard(payload: ShardPayload) -> TTestAccumulator:
     """Rebuild the worker's accumulator bit for bit (parent side).
 
     Releases the shared-memory segment when the payload carries one.
+
+    Raises:
+        TransportError: The segment vanished before it could be read
+            (creator killed mid-handoff, or a scavenger raced us).
     """
     acc = TTestAccumulator(payload.n_samples)
     acc._fixed.n = payload.fixed_n
@@ -182,7 +424,13 @@ def unpack_shard(payload: ShardPayload) -> TTestAccumulator:
         return acc
     from multiprocessing import shared_memory
 
-    shm = shared_memory.SharedMemory(name=payload.shm_name)
+    try:
+        shm = shared_memory.SharedMemory(name=payload.shm_name)
+    except FileNotFoundError as exc:
+        _release_segment(payload.shm_name)
+        raise TransportError(
+            "unpack_shard", payload.shm_name, f"segment missing: {exc}"
+        ) from exc
     try:
         moments = np.ndarray(
             (2, 6, payload.n_samples), np.float64, buffer=shm.buf
@@ -192,6 +440,7 @@ def unpack_shard(payload: ShardPayload) -> TTestAccumulator:
     finally:
         shm.close()
         shm.unlink()
+        _release_segment(payload.shm_name)
     return acc
 
 
@@ -211,11 +460,18 @@ class SharedTraceBuffer:
 
     @classmethod
     def publish(cls, traces: np.ndarray) -> "SharedTraceBuffer":
-        """Copy ``traces`` into a fresh segment (producer side)."""
-        from multiprocessing import resource_tracker, shared_memory
+        """Copy ``traces`` into a fresh segment (producer side).
+
+        The name stays in the producer's segment registry until a
+        consumer :meth:`materialise`-s / :meth:`discard`-s it (which
+        unlinks) or the producer exits (whose finalizer unlinks any
+        still-existing segment) — a consumer that dies between send and
+        read no longer leaks the segment forever.
+        """
+        from multiprocessing import resource_tracker
 
         traces = np.ascontiguousarray(traces)
-        shm = shared_memory.SharedMemory(create=True, size=traces.nbytes)
+        shm = _create_segment(traces.nbytes)
         np.ndarray(traces.shape, traces.dtype, buffer=shm.buf)[:] = traces
         name = shm.name
         shm.close()
@@ -230,10 +486,23 @@ class SharedTraceBuffer:
         )
 
     def materialise(self) -> np.ndarray:
-        """Copy the matrix out and release the segment (consumer side)."""
+        """Copy the matrix out and release the segment (consumer side).
+
+        Raises:
+            TransportError: The segment vanished before it could be
+                read (producer died mid-handoff or already scavenged).
+        """
         from multiprocessing import shared_memory
 
-        shm = shared_memory.SharedMemory(name=self.shm_name)
+        try:
+            shm = shared_memory.SharedMemory(name=self.shm_name)
+        except FileNotFoundError as exc:
+            _release_segment(self.shm_name)
+            raise TransportError(
+                "SharedTraceBuffer.materialise",
+                self.shm_name,
+                f"segment missing: {exc}",
+            ) from exc
         try:
             return np.ndarray(
                 self.shape, np.dtype(self.dtype_str), buffer=shm.buf
@@ -241,11 +510,9 @@ class SharedTraceBuffer:
         finally:
             shm.close()
             shm.unlink()
+            _release_segment(self.shm_name)
 
     def discard(self) -> None:
-        """Release the segment without reading it."""
-        from multiprocessing import shared_memory
-
-        shm = shared_memory.SharedMemory(name=self.shm_name)
-        shm.close()
-        shm.unlink()
+        """Release the segment without reading it (idempotent)."""
+        _unlink_quietly(self.shm_name)
+        _release_segment(self.shm_name)
