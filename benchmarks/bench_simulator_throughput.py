@@ -10,9 +10,10 @@ Three kinds of benches live here:
   :mod:`repro.eval.bench` (the same code ``python -m repro bench``
   runs) so CI and the CLI publish identical numbers;
 * a machine-readable summary: the module writes ``BENCH_simulator.json``
-  at the repo root (schema ``bench_simulator/v3``, see
-  ``repro.eval.bench``) with the comparison timings, speedups and the
-  campaign's :class:`~repro.leakage.stats.CampaignStats`.
+  at the repo root (schema ``bench_simulator/v4``, see
+  ``repro.eval.bench``) with the comparison timings, speedups, the
+  campaign's :class:`~repro.leakage.stats.CampaignStats` and the packed
+  leg's counter-plane telemetry.
 """
 
 import os
@@ -98,31 +99,49 @@ def test_bench_packed_vs_boolean_settle():
 
 
 def test_bench_campaign_packed_vs_boolean():
-    """End-to-end packed campaign on the masked-DES engine.
+    """End-to-end packed campaign on the masked-DES engine: >= 1.2x.
 
     Serial campaign, ``pack_traces=False`` vs ``True``, bitwise-equal
-    t-statistics required.  The speedup is recorded but not asserted:
-    end-to-end time includes TVLA accumulation, noise generation and
-    recorder unpacking, which packing does not accelerate.
+    t-statistics required.  Since the packed-domain power accumulator
+    (counter planes, no per-event unpacking) the speedup is *gated*,
+    not just recorded: both legs run in this one process, so the
+    comparison is valid even at ``cpu_count=1``.  End-to-end time still
+    includes TVLA accumulation and noise generation, which packing does
+    not touch — hence 1.2x here vs the ~5x recorder-free settle bench.
+    The geometry is lane-aligned (one 512-trace batch, 8 uint64 lanes):
+    ragged two-lane batches are exactly where packing cannot pay, which
+    is what ``pack_traces="auto"``'s 64-trace floor is for.
     """
     engine = MaskedDESNetlistEngine("ff")
     source = DESTraceSource(
         engine, 0x0123456789ABCDEF, 0x133457799BBCDFF1, prng_enabled=True
     )
-    cfg = CampaignConfig(n_traces=256, batch_size=128, noise_sigma=1.0, seed=0)
+    cfg = CampaignConfig(n_traces=512, batch_size=512, noise_sigma=1.0, seed=0)
     campaign = bench.campaign_packed_comparison(
         source,
         cfg,
         source_label="DESTraceSource (masked DES netlist, ff variant)",
     )
     RESULTS["campaign_packed"] = campaign
+    planes = campaign["counter_planes"]
     print(
         f"\ncampaign_packed: boolean {campaign['boolean_s']:.2f} s  "
         f"packed {campaign['packed_s']:.2f} s  "
         f"speedup {campaign['speedup']:.2f}x  "
-        f"bitwise={campaign['bitwise_equal']}"
+        f"bitwise={campaign['bitwise_equal']}  "
+        f"max_planes={planes['max_planes']}  "
+        f"overflow_bins={planes['overflow_bins']}"
     )
     assert campaign["bitwise_equal"]
+    assert planes["accumulators"] > 0, (
+        "packed campaign never reached the counter-plane accumulator — "
+        "the replay loop fell back to the per-event unpack leg"
+    )
+    assert campaign["speedup"] >= 1.2, (
+        f"packed campaign speedup {campaign['speedup']:.2f}x < 1.2x — "
+        "the packed-domain accumulation regression this bench exists "
+        "to catch (the pre-v4 per-event unpack leg measured 0.98x)"
+    )
 
 
 # ----------------------------------------------------------------------

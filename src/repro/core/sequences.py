@@ -21,7 +21,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..netlist.circuit import Circuit
-from ..sim.power import PowerRecorder
+from ..sim.bitpack import resolve_pack_traces
+from ..sim.power import PowerRecorder, default_weights
 from ..sim.vectorsim import VectorSimulator
 from ..leakage.acquisition import CampaignConfig, run_campaign
 from ..leakage.tvla import THRESHOLD, TvlaResult
@@ -89,6 +90,17 @@ class SequenceSource:
         total = len(sequence) * step_ps + settle_margin_ps
         self.total_time_ps = total
         self.n_samples = -(-total // bin_ps)
+        self._weights_cache: Optional[np.ndarray] = None
+
+    def _wire_weights(self) -> np.ndarray:
+        """``1 + fanout`` toggle energies, identical to
+        ``VectorSimulator.weights`` for this circuit (cached)."""
+        n_wires = self.circuit.n_wires
+        if self._weights_cache is None or len(self._weights_cache) != n_wires:
+            self._weights_cache = default_weights(
+                self.circuit.fanout_map(), n_wires
+            )
+        return self._weights_cache
 
     def warmup(self):
         """Compile the (single) event schedule this source replays.
@@ -111,13 +123,20 @@ class SequenceSource:
         y0, y1 = share(y, rng)
         values = {"x0": x0, "x1": x1, "y0": y0, "y1": y1}
 
-        sim = VectorSimulator(self.circuit, n, pack_traces=self.pack_traces)
+        # Recorder first, so pack_traces="auto" resolves against its
+        # packed-accumulation capability (no coupling here, but the
+        # ordering keeps every source on the same contract).
+        rec = PowerRecorder(
+            n, self.total_time_ps, bin_ps=self.bin_ps,
+            weights=self._wire_weights(),
+        )
+        sim = VectorSimulator(
+            self.circuit, n,
+            pack_traces=resolve_pack_traces(self.pack_traces, n, rec),
+        )
         # settle the reset state (inputs 0) without recording power
         sim.evaluate_combinational(
             {self.circuit.wire(name): False for name in INPUT_NAMES}
-        )
-        rec = PowerRecorder(
-            n, self.total_time_ps, bin_ps=self.bin_ps, weights=sim.weights
         )
         events = [
             (k * self.step_ps, self.circuit.wire(name), values[name])

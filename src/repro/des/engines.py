@@ -32,8 +32,9 @@ from ..leakage.prng import RandomnessSource
 from ..netlist.cells import DELAY_UNIT_DEFAULT_LUTS
 from ..netlist.circuit import Circuit
 from ..netlist.timing import analyze
+from ..sim.bitpack import resolve_pack_traces
 from ..sim.clocking import ClockedHarness
-from ..sim.power import CouplingModel, PowerRecorder
+from ..sim.power import CouplingModel, PowerRecorder, default_weights
 from .bits import permute_rows
 from .masked_netlist import (
     FFSboxControls,
@@ -325,6 +326,17 @@ class MaskedDESNetlistEngine:
             inputs[w] = rand_bits[k]
         h.preload(ff_vals, inputs)
 
+    def _wire_weights(self) -> np.ndarray:
+        """Per-wire toggle energies (``1 + fanout``), cached: the
+        circuit never changes after construction, and the values are
+        identical to what ``VectorSimulator.weights`` computes."""
+        n_wires = self.circuit.n_wires
+        w = getattr(self, "_wire_weights_cache", None)
+        if w is None or len(w) != n_wires:
+            w = default_weights(self.circuit.fanout_map(), n_wires)
+            self._wire_weights_cache = w
+        return w
+
     def _round_rand(self, prng: RandomnessSource, n: int) -> np.ndarray:
         return prng.bits(len(self.rand_wires), n)
 
@@ -366,17 +378,11 @@ class MaskedDESNetlistEngine:
 
         if pack_traces is None:
             pack_traces = self.pack_traces
-        h = ClockedHarness(
-            self.circuit,
-            n,
-            self.period_ps,
-            check_timing=False,
-            pack_traces=pack_traces,
-        )
-        rand0 = self._round_rand(prng, n)
-        l0, r0, cd1 = self._initial_state(pt_s, key_s)
-        self._preload(h, l0, r0, cd1, rand0)
 
+        # The recorder is built *before* the harness so ``"auto"`` can
+        # resolve against it: a coupling recorder has no packed
+        # accumulation path, and packing such a batch would only buy
+        # the slow per-event unpack leg (the 0.98x regression).
         recorder = None
         if record:
             coupling = None
@@ -394,9 +400,20 @@ class MaskedDESNetlistEngine:
                 n,
                 self.total_cycles * self.period_ps,
                 bin_ps=self.bin_ps,
-                weights=h.sim.weights,
+                weights=self._wire_weights(),
                 coupling=coupling,
             )
+
+        h = ClockedHarness(
+            self.circuit,
+            n,
+            self.period_ps,
+            check_timing=False,
+            pack_traces=resolve_pack_traces(pack_traces, n, recorder),
+        )
+        rand0 = self._round_rand(prng, n)
+        l0, r0, cd1 = self._initial_state(pt_s, key_s)
+        self._preload(h, l0, r0, cd1, rand0)
 
         if self.variant == "ff":
             self._run_ff(h, recorder, prng, rand0)

@@ -1,4 +1,4 @@
-"""Simulator throughput benchmark — ``BENCH_simulator.json`` schema v3.
+"""Simulator throughput benchmark — ``BENCH_simulator.json`` schema v4.
 
 Four head-to-head comparisons over the simulation substrate:
 
@@ -13,9 +13,11 @@ Four head-to-head comparisons over the simulation substrate:
   over the same source and config (bitwise-equal t-statistics are a
   hard requirement); *skipped entirely* on single-CPU hosts, where the
   parallel leg can only measure pool overhead;
-* **campaign_packed** — the same campaign run serially with
-  ``pack_traces=False`` vs ``pack_traces=True`` (bitwise-equal
-  t-statistics required; end-to-end engine speedup is the number).
+* **campaign_packed** — the same source run serially with
+  ``pack_traces=False`` vs ``pack_traces=True`` on a lane-aligned
+  config (bitwise-equal t-statistics required; end-to-end engine
+  speedup is the number, and since v4 the packed leg accumulates power
+  in the counter-plane domain instead of unpacking per event).
 
 Schema history
 --------------
@@ -36,6 +38,17 @@ single-CPU behaviour: instead of burning a minute producing an invalid
 parallel comparison flagged ``parallel_comparison_valid=false``, the
 ``campaign`` section is now ``{"skipped_reason": "cpu_count<2"}`` and
 the parallel leg never runs.
+
+``v4`` marks the packed-domain power accumulator (recorders consume
+toggle masks as counter bit-planes instead of per-event unpacked
+booleans — :class:`repro.sim.power.PackedToggleAccumulator`).  The
+``campaign_packed`` section now embeds ``counter_planes`` — the packed
+leg's accumulator telemetry (instances, flushes, deepest per-bin
+counter in bits, bins past the 2^24 float32-exactness bound) — and
+runs on its own lane-aligned config (``n_traces`` and ``batch_size``
+multiples of 64): the v3 section reused the parallel campaign's
+125-trace batches, two ragged lanes per batch, which is exactly the
+geometry packing cannot win (the seed's recorded 0.98x).
 
 The pytest benches under ``benchmarks/`` call the same comparison
 functions with CI budgets and write the same JSON; ``python -m repro
@@ -61,7 +74,11 @@ from ..core.gadgets import build_secand2
 from ..core.shares import share
 from ..leakage.acquisition import CampaignConfig, run_campaign
 from ..sim import bitpack
-from ..sim.power import PowerRecorder
+from ..sim.power import (
+    PowerRecorder,
+    packed_accumulator_counters,
+    reset_packed_accumulator_counters,
+)
 from ..sim.vectorsim import VectorSimulator
 
 __all__ = [
@@ -77,7 +94,7 @@ __all__ = [
     "run",
 ]
 
-SCHEMA = "bench_simulator/v3"
+SCHEMA = "bench_simulator/v4"
 
 
 def _cpu_count() -> int:
@@ -319,28 +336,51 @@ def campaign_packed_comparison(
     source,
     config: CampaignConfig,
     source_label: str = "",
+    reps: int = 1,
+    rounds: int = 3,
 ) -> Dict[str, object]:
     """Boolean vs bit-packed engine over one serial campaign.
 
-    Runs the identical campaign twice in-process — once with
-    ``pack_traces=False``, once with ``pack_traces=True`` — and
-    demands bitwise-equal t-statistics at every order.  Serial on
-    purpose: the number isolates the engine, not the pool.
+    Runs the identical campaign with ``pack_traces=False`` and
+    ``True`` and demands bitwise-equal t-statistics at every order.
+    Serial on purpose: the number isolates the engine, not the pool.
+    Timed via :func:`alternating_blocks` (``reps`` campaigns per leg
+    block, ``rounds`` alternations, plus one untimed warm-up of each
+    leg) — single-shot campaign timing on a shared 1-CPU runner
+    drifts by 10-15%, which is exactly the margin the >= 1.2x gate
+    needs; the published ``speedup`` is the median per-round ratio, so
+    host-speed drift between the legs cancels.  The v4 section embeds
+    the packed leg's counter-plane telemetry (the boolean leg creates
+    no accumulators, so the process-wide counters are reset up front
+    and read once at the end; repeated packed runs accumulate into the
+    same counters).
     """
-    boolean = run_campaign(
-        source, dc_replace(config, pack_traces=False), n_workers=1
+    reset_packed_accumulator_counters()
+    cfg_bool = dc_replace(config, pack_traces=False)
+    cfg_packed = dc_replace(config, pack_traces=True)
+    latest: Dict[str, object] = {}
+
+    def run_bool():
+        latest["boolean"] = run_campaign(source, cfg_bool, n_workers=1)
+
+    def run_pack():
+        latest["packed"] = run_campaign(source, cfg_packed, n_workers=1)
+
+    def _noop():
+        pass
+
+    t_bool, t_packed, ratio = alternating_blocks(
+        run_bool, _noop, run_pack, _noop, reps, rounds
     )
-    packed = run_campaign(
-        source, dc_replace(config, pack_traces=True), n_workers=1
-    )
+    counter_planes = packed_accumulator_counters()
+    boolean = latest["boolean"]
+    packed = latest["packed"]
     bitwise = bool(
         np.array_equal(boolean.t1, packed.t1)
         and np.array_equal(boolean.t2, packed.t2)
         and np.array_equal(boolean.t3, packed.t3)
     )
     assert bitwise, "packed campaign diverged bitwise from boolean"
-    t_bool = boolean.stats.wall_seconds
-    t_packed = packed.stats.wall_seconds
     return {
         "source": source_label or type(source).__name__,
         "n_traces": config.n_traces,
@@ -348,15 +388,16 @@ def campaign_packed_comparison(
         "popcount": _popcount_backend(),
         "boolean_s": t_bool,
         "packed_s": t_packed,
-        "speedup": t_bool / t_packed if t_packed > 0 else 0.0,
+        "speedup": ratio,
         "bitwise_equal": bitwise,
+        "counter_planes": counter_planes,
         "boolean_stats": boolean.stats.as_dict(),
         "packed_stats": packed.stats.as_dict(),
     }
 
 
 def assemble_payload(**sections) -> Dict[str, object]:
-    """Wrap comparison sections in the v3 envelope (host + validity)."""
+    """Wrap comparison sections in the v4 envelope (host + validity)."""
     cpu = _cpu_count()
     return {
         "schema": SCHEMA,
@@ -456,6 +497,14 @@ class BenchResult:
                 f"speedup {cp['speedup']:.2f}x   "
                 f"bitwise={cp['bitwise_equal']}"
             )
+            planes = cp.get("counter_planes")
+            if planes:
+                lines.append(
+                    f"  counter planes: {planes['accumulators']} "
+                    f"accumulators, {planes['flushes']} flushes, "
+                    f"max depth {planes['max_planes']} bits, "
+                    f"{planes['overflow_bins']} bins past 2^24"
+                )
         if self.json_path is not None:
             lines.append(f"wrote {self.json_path}")
         return "\n".join(lines)
@@ -467,7 +516,7 @@ def run(
     write: bool = True,
     json_path: "Optional[Path]" = None,
 ) -> BenchResult:
-    """Run all comparisons and (by default) write the v3 JSON.
+    """Run all comparisons and (by default) write the v4 JSON.
 
     ``quick`` shrinks the budgets to CI-smoke size and swaps the
     campaign workload from the masked-DES netlist engine to the
@@ -495,6 +544,7 @@ def run(
             n_traces=400, batch_size=100, noise_sigma=1.0, seed=0,
             label="bench-quick",
         )
+        cfg_packed = cfg
         source_label = "SequenceSource (secAND2 bank, 8 instances)"
     else:
         settle = settle_comparison()
@@ -509,6 +559,15 @@ def run(
             n_traces=500, batch_size=125, noise_sigma=1.0, seed=0,
             label="bench",
         )
+        # The engine comparison gets a lane-aligned geometry: 125-trace
+        # batches are two ragged uint64 lanes — per-batch fixed costs
+        # dominate and packing structurally cannot win there (the v3
+        # bench's 0.98x).  The parallel comparison above keeps the
+        # multi-batch config so the pool has batches to shard.
+        cfg_packed = CampaignConfig(
+            n_traces=512, batch_size=512, noise_sigma=1.0, seed=0,
+            label="bench-packed",
+        )
         source_label = "DESTraceSource (masked DES netlist, ff variant)"
     if _cpu_count() < 2:
         campaign: Dict[str, object] = {
@@ -520,7 +579,7 @@ def run(
             source, cfg, n_workers=workers, source_label=source_label
         )
     campaign_packed = campaign_packed_comparison(
-        source, cfg, source_label=source_label
+        source, cfg_packed, source_label=source_label
     )
     payload = assemble_payload(
         settle=settle,

@@ -458,13 +458,19 @@ def replay(
             means boolean state.
 
     In packed mode every guard and state update below runs on the
-    64x-smaller lane words; toggle masks are unpacked back to per-trace
-    bits *lazily*, only at recording points and only when at least one
-    lane toggled.  The unpacked uint8 bits feed the exact float
-    expressions of the boolean path, so power samples stay bitwise
-    identical (pad bits shadow the last real trace — see
-    :mod:`repro.sim.bitpack` — so liveness and event accounting match
-    too).
+    64x-smaller lane words, and recording stays packed too: when the
+    recorder offers a packed accumulator
+    (:meth:`~repro.sim.power.PowerRecorder.packed_accumulator`), each
+    live toggle mask is ripple-carry-added into per-bin counter planes
+    (:mod:`repro.sim.bitpack`) and only unpacked once per batch —
+    bitwise-identical to the boolean engine below the
+    ``2**COUNTER_EXACT_BITS`` bound.  Recorders without a packed path
+    (coupling partners, custom recorders) fall back to lazy per-event
+    unpacking: toggle masks become per-trace bits only at recording
+    points and only when at least one lane toggled, feeding the exact
+    float expressions of the boolean path (pad bits shadow the last
+    real trace — see :mod:`repro.sim.bitpack` — so liveness and event
+    accounting match too).
 
     Returns:
         ``(settle_time, n_gate_evaluations)``.
@@ -482,14 +488,22 @@ def replay(
 
     record_wire = None
     add_energy = None
+    acc_add = None
     weights = None
     if recorder is not None and not getattr(recorder, "is_null", False):
-        batched = not getattr(recorder, "_partners", None)
-        add_energy = getattr(recorder, "add_energy", None) if batched else None
-        if add_energy is None:
-            record_wire = recorder.record_wire
-        else:
-            weights = getattr(recorder, "_weights", None)
+        if packed and hasattr(recorder, "packed_accumulator"):
+            acc = recorder.packed_accumulator(n_traces, values.shape[1])
+            if acc is not None:
+                acc_add = acc.add
+        if acc_add is None:
+            batched = not getattr(recorder, "_partners", None)
+            add_energy = (
+                getattr(recorder, "add_energy", None) if batched else None
+            )
+            if add_energy is None:
+                record_wire = recorder.record_wire
+            else:
+                weights = getattr(recorder, "_weights", None)
 
     budget = max_events
     processed = 0
@@ -513,8 +527,17 @@ def replay(
             w0 = wires[0]
             new_row = slot_values[s0]
             toggled_row = values[w0] ^ new_row
-            live0 = toggled_row.any()
-            if live0:
+            if acc_add is not None:
+                # Packed-domain recording: convert the lane mask to a
+                # big-int once — the int doubles as the liveness test
+                # (zero mask = no toggle), so this path never pays the
+                # per-event ndarray.any() reduction.
+                mask0 = int.from_bytes(toggled_row.tobytes(), "little")
+                live0 = mask0 != 0
+                if live0:
+                    values[w0] = new_row
+                    acc_add(t_offset + step.t, int(w0), mask0)
+            elif (live0 := bool(toggled_row.any())):
                 values[w0] = new_row
                 if record_wire is not None:
                     if packed:
@@ -579,7 +602,20 @@ def replay(
                 values[wires] = new
             else:
                 values[wires[live]] = new[live]
-            if record_wire is not None:
+            if acc_add is not None:
+                # One tobytes() for the whole step; per-row big-ints
+                # come from byte slices instead of ndarray views.
+                t_abs = t_offset + step.t
+                data = toggled.tobytes()
+                stride = toggled.shape[1] * 8
+                for r in np.nonzero(live)[0]:
+                    o = r * stride
+                    acc_add(
+                        t_abs,
+                        int(wires[r]),
+                        int.from_bytes(data[o : o + stride], "little"),
+                    )
+            elif record_wire is not None:
                 t_abs = t_offset + step.t
                 if packed:
                     for r in np.nonzero(live)[0]:

@@ -26,18 +26,63 @@ in the first order even when probing-secure (cf. De Cnudde et al.,
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .bitpack import COUNTER_EXACT_BITS, counter_add, counter_unpack
+
 __all__ = [
     "CouplingModel",
     "PowerRecorder",
+    "PackedToggleAccumulator",
     "NullRecorder",
     "TransientRecorder",
     "default_weights",
+    "ClampedEventWarning",
+    "PackedAccumulatorOverflowWarning",
+    "packed_accumulator_counters",
+    "reset_packed_accumulator_counters",
 ]
+
+
+class ClampedEventWarning(RuntimeWarning):
+    """A transition fell past the recorder's time window and was clamped
+    into the last bin.  Emitted once per recorder (i.e. once per batch —
+    engines build a fresh recorder per batch); every clamped event is
+    counted in ``recorder.stats["clamped_events"]``."""
+
+
+class PackedAccumulatorOverflowWarning(RuntimeWarning):
+    """A packed counter bin reached ``2**COUNTER_EXACT_BITS``: float32
+    can no longer represent every integer count exactly, so bitwise
+    equality with the boolean engine's sequential adds is off the
+    table.  The flush still deposits the correctly-rounded value (one
+    exact-integer -> float32 conversion) instead of drifting."""
+
+
+#: Process-wide telemetry for the packed accumulation path, surfaced by
+#: the throughput bench (schema v4).  Monotonic; snapshot with
+#: :func:`packed_accumulator_counters` and diff around a region.
+_PACKED_COUNTERS = {
+    "accumulators": 0,  # PackedToggleAccumulator instances created
+    "flushes": 0,       # end-of-batch counter-plane unpacks
+    "max_planes": 0,    # deepest per-bin counter seen (bits of count)
+    "overflow_bins": 0, # bins that crossed the 2^24 exactness bound
+}
+
+
+def packed_accumulator_counters() -> Dict[str, int]:
+    """Snapshot of the process-wide packed-accumulation counters."""
+    return dict(_PACKED_COUNTERS)
+
+
+def reset_packed_accumulator_counters() -> None:
+    """Zero the packed-accumulation counters (tests / bench prep)."""
+    for key in _PACKED_COUNTERS:
+        _PACKED_COUNTERS[key] = 0
 
 
 @dataclass
@@ -103,11 +148,90 @@ class PowerRecorder:
         self._partners = coupling.partner_map() if coupling else {}
         # last transition of each coupled wire: wire -> (t_ps, sign array)
         self._last_transition: Dict[int, Tuple[int, np.ndarray]] = {}
+        #: Observability counters; ``clamped_events`` counts recorded
+        #: calls whose time fell past the window (see
+        #: :class:`ClampedEventWarning`), the ``overflow_bins`` /
+        #: ``max_counter_planes`` pair mirrors the packed accumulator.
+        self.stats: Dict[str, int] = {
+            "clamped_events": 0,
+            "overflow_bins": 0,
+            "max_counter_planes": 0,
+        }
+        self._clamp_warned = False
+        self._packed_acc: Optional["PackedToggleAccumulator"] = None
 
     @property
     def power(self) -> np.ndarray:
-        """The accumulated (n_traces, n_bins) power matrix."""
+        """The accumulated (n_traces, n_bins) power matrix.
+
+        Reading it flushes any pending packed counter planes first, so
+        callers always see the complete batch.
+        """
+        if self._packed_acc is not None:
+            self._packed_acc.flush()
         return self._power
+
+    @property
+    def accepts_packed(self) -> bool:
+        """Whether packed simulation may hand this recorder lane words
+        via :meth:`packed_accumulator` instead of unpacked booleans.
+
+        Requires toggle-count-only semantics (no coupling partners —
+        coupling needs per-trace transition *signs*) and weights that
+        are small non-negative integers, so counter-plane accumulation
+        stays bitwise-equal to sequential float32 adds (see
+        ``COUNTER_EXACT_BITS``).
+        """
+        if self._partners:
+            return False
+        if self._weights is not None:
+            w = self._weights
+            if (
+                not np.all(w == np.floor(w))
+                or np.any(w < 0)
+                or np.any(w >= 2**COUNTER_EXACT_BITS)
+            ):
+                return False
+        return True
+
+    def packed_accumulator(
+        self, n_traces: int, lanes: int
+    ) -> Optional["PackedToggleAccumulator"]:
+        """The packed-domain sink for this recorder, or ``None``.
+
+        Engines call this once per settle/replay; the accumulator is
+        reused across calls within a batch and flushed lazily when
+        :attr:`power` / :meth:`samples` is read.  Returns ``None`` when
+        :attr:`accepts_packed` is false — callers must then fall back
+        to the per-event unpack leg (:meth:`record_wire`).
+        """
+        if not self.accepts_packed:
+            return None
+        if n_traces != self.n_traces:
+            raise ValueError(
+                f"recorder holds {self.n_traces} traces, "
+                f"packed batch has {n_traces}"
+            )
+        acc = self._packed_acc
+        if acc is None or acc.lanes != lanes:
+            if acc is not None:
+                acc.flush()
+            acc = PackedToggleAccumulator(self, lanes)
+            self._packed_acc = acc
+        return acc
+
+    def _note_clamped(self, t_ps, count: int = 1) -> None:
+        self.stats["clamped_events"] += count
+        if not self._clamp_warned:
+            self._clamp_warned = True
+            warnings.warn(
+                f"transition at t={t_ps} ps falls past the recorder "
+                f"window ({self.n_bins * self.bin_ps} ps); clamping "
+                "into the last bin (all such events are counted in "
+                "stats['clamped_events'])",
+                ClampedEventWarning,
+                stacklevel=4,
+            )
 
     def _weight(self, wire: int) -> float:
         if self._weights is None:
@@ -121,7 +245,10 @@ class PowerRecorder:
 
         ``toggled`` must be ``old ^ new`` and already known non-zero.
         """
-        b = min(int(t_ps // self.bin_ps), self.n_bins - 1)
+        b = int(t_ps // self.bin_ps)
+        if b >= self.n_bins:
+            self._note_clamped(t_ps)
+            b = self.n_bins - 1
         self._power[:, b] += toggled * np.float32(self._weight(wire))
         if self._partners and wire in self._partners:
             old = new ^ toggled
@@ -153,7 +280,10 @@ class PowerRecorder:
         integer-valued weights the result is bit-identical to the
         per-wire :meth:`record_wire` accumulation.
         """
-        b = min(int(t_ps // self.bin_ps), self.n_bins - 1)
+        b = int(t_ps // self.bin_ps)
+        if b >= self.n_bins:
+            self._note_clamped(t_ps)
+            b = self.n_bins - 1
         self._power[:, b] += energy
 
     def record_batch(
@@ -173,7 +303,116 @@ class PowerRecorder:
 
     def samples(self) -> np.ndarray:
         """Alias of :attr:`power` (TVLA vocabulary)."""
-        return self._power
+        return self.power
+
+
+class PackedToggleAccumulator:
+    """Packed-domain power accumulation: bit-sliced vertical counters.
+
+    The packed engine's toggle masks are ``(n_lanes,)`` uint64 words,
+    one trace per bit.  Instead of unpacking each mask to booleans for
+    a float32 add (the per-event leg that made ``campaign_packed``
+    *slower* than boolean), this sink keeps, per time bin, a list of
+    counter *bit-planes*: plane ``j`` holds bit ``j`` of every trace's
+    running toggle-energy count.  Adding a mask is a ripple-carry add
+    over Python big-ints (:func:`repro.sim.bitpack.counter_add`);
+    integer weights ``1 + fanout`` decompose in binary so a weight-
+    ``w`` toggle issues one shifted add per set bit of ``w``.  Planes
+    are unpacked to the ``(n_traces, n_bins)`` float32 matrix exactly
+    once, at :meth:`flush` (end of batch) — bitwise-identical to the
+    boolean engine while per-bin counts stay below
+    ``2**COUNTER_EXACT_BITS`` (guarded loudly, see
+    :class:`PackedAccumulatorOverflowWarning`).
+
+    Obtain instances via :meth:`PowerRecorder.packed_accumulator`, not
+    directly — the recorder owns flushing and the compatibility check.
+    """
+
+    def __init__(self, recorder: PowerRecorder, lanes: int):
+        self.recorder = recorder
+        self.lanes = lanes
+        self.bin_ps = recorder.bin_ps
+        self.n_bins = recorder.n_bins
+        # bin -> counter planes (list of big-ints, LSB plane first)
+        self._bins: Dict[int, List[int]] = {}
+        # wire -> set-bit positions of its integer weight
+        self._shifts: Dict[int, Tuple[int, ...]] = {}
+        _PACKED_COUNTERS["accumulators"] += 1
+
+    def _wire_shifts(self, wire: int) -> Tuple[int, ...]:
+        shifts = self._shifts.get(wire)
+        if shifts is None:
+            weights = self.recorder._weights
+            w = 1 if weights is None else int(weights[wire])
+            shifts = tuple(
+                j for j in range(w.bit_length()) if (w >> j) & 1
+            )
+            self._shifts[wire] = shifts
+        return shifts
+
+    def add(self, t_ps, wire: int, toggled) -> None:
+        """Accumulate one wire's packed toggle mask at time ``t_ps``.
+
+        ``toggled`` is the ``(n_lanes,)`` uint64 ``old ^ new`` mask —
+        or that mask already converted to a big-int (the compiled
+        replay loop converts once, reusing the int as its liveness
+        test, so the hot path never touches numpy here).  Pad bits
+        ride along harmlessly — they are dropped at unpack time.
+        """
+        mask = (
+            toggled
+            if type(toggled) is int
+            else int.from_bytes(toggled.tobytes(), "little")
+        )
+        b = int(t_ps // self.bin_ps)
+        if b >= self.n_bins:
+            self.recorder._note_clamped(t_ps)
+            b = self.n_bins - 1
+        planes = self._bins.get(b)
+        if planes is None:
+            planes = []
+            self._bins[b] = planes
+        shifts = self._shifts.get(wire)
+        if shifts is None:
+            shifts = self._wire_shifts(wire)
+        for shift in shifts:
+            counter_add(planes, mask, shift)
+
+    def flush(self) -> None:
+        """Unpack every pending counter bin into the recorder's float32
+        power matrix and clear the planes.  Idempotent."""
+        if not self._bins:
+            return
+        rec = self.recorder
+        power = rec._power
+        n = rec.n_traces
+        _PACKED_COUNTERS["flushes"] += 1
+        for b, planes in self._bins.items():
+            depth = len(planes)
+            if depth > _PACKED_COUNTERS["max_planes"]:
+                _PACKED_COUNTERS["max_planes"] = depth
+            if depth > rec.stats["max_counter_planes"]:
+                rec.stats["max_counter_planes"] = depth
+            counts = counter_unpack(planes, self.lanes, n)
+            if depth > COUNTER_EXACT_BITS and int(counts.max(initial=0)) >= (
+                1 << COUNTER_EXACT_BITS
+            ):
+                _PACKED_COUNTERS["overflow_bins"] += 1
+                rec.stats["overflow_bins"] += 1
+                warnings.warn(
+                    f"packed counter for bin {b} reached "
+                    f"{int(counts.max())} >= 2^{COUNTER_EXACT_BITS}: "
+                    "beyond the float32 exactness bound.  The flushed "
+                    "value is correctly rounded (single int->float32 "
+                    "conversion) but may differ bitwise from the "
+                    "boolean engine's sequential accumulation",
+                    PackedAccumulatorOverflowWarning,
+                    stacklevel=3,
+                )
+            # int64 -> float32 is a single correct rounding; below the
+            # exactness bound it is the exact integer either way.
+            power[:, b] += counts.astype(np.float32)
+        self._bins.clear()
 
 
 class TransientRecorder:

@@ -296,10 +296,16 @@ class VectorSimulator:
         values = self.values
         fanout = self._comb_fanout
         record = None
-        if recorder is not None and not getattr(recorder, "is_null", False):
-            record = recorder.record_wire
+        acc_add = None
         packed = self.packed
         n_real = self.n_traces
+        if recorder is not None and not getattr(recorder, "is_null", False):
+            if packed and hasattr(recorder, "packed_accumulator"):
+                acc = recorder.packed_accumulator(n_real, values.shape[1])
+                if acc is not None:
+                    acc_add = acc.add
+            if acc_add is None:
+                record = recorder.record_wire
         while heap:
             t = heapq.heappop(heap)
             queued.discard(t)
@@ -311,7 +317,11 @@ class VectorSimulator:
                 toggled = values[wire] ^ new
                 if not toggled.any():
                     continue
-                if record is not None:
+                if acc_add is not None:
+                    # Packed-domain recording: counter-plane add, no
+                    # unpacking inside the event loop.
+                    acc_add(t_offset + t, wire, toggled)
+                elif record is not None:
                     if packed:
                         # Lazy unpack: only wires that actually toggled
                         # reach the boolean recorder interface.

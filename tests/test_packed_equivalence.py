@@ -348,3 +348,102 @@ def test_bench_runs_campaign_with_enough_cpus(monkeypatch):
     result = bench.run(quick=True, write=False)
     assert result.payload["campaign"] is sentinel
     assert result.payload["parallel_comparison_valid"] is True
+
+
+# ----------------------------------------------------------------------
+# packed-domain power accumulation (counter planes, PR 8)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("compiled", [False, True])
+def test_plain_recorder_power_bitwise_equal_both_paths(compiled):
+    """A coupling-free PowerRecorder takes the counter-plane path in
+    packed mode (both the compiled replay and the interpreted loop);
+    power must stay float-for-float identical to the boolean engine on
+    a ragged batch with weight > 1 wires (1 + fanout)."""
+    c = random_circuit(11, jitter=True)
+    rng = np.random.default_rng(111)
+    n = 90  # ragged final lane
+    events = random_events(c, rng, n)
+    powers = []
+    for pack in (False, True):
+        sim = VectorSimulator(
+            c, n, compile_schedules=compiled, pack_traces=pack
+        )
+        rec = PowerRecorder(n, 6000, bin_ps=250, weights=sim.weights)
+        sim.settle(events, recorder=rec)
+        powers.append(rec.power.copy())
+    assert np.array_equal(powers[0], powers[1])
+
+
+def test_packed_acquire_uses_counter_planes():
+    """End-to-end packed acquisition must actually reach the packed
+    accumulator — if this fails, the engine silently fell back to the
+    per-event unpack leg (the 0.98x regression)."""
+    from repro.sim.power import (
+        packed_accumulator_counters,
+        reset_packed_accumulator_counters,
+    )
+
+    reset_packed_accumulator_counters()
+    source = SequenceSource(INPUT_NAMES, n_instances=4, pack_traces=True)
+    source.acquire(np.ones(128, dtype=bool), np.random.default_rng(0))
+    counters = packed_accumulator_counters()
+    assert counters["accumulators"] >= 1
+    assert counters["flushes"] >= 1
+    assert counters["max_planes"] >= 1
+    assert counters["overflow_bins"] == 0
+
+
+def test_engine_auto_pack_declines_with_coupling_recorder(
+    des_engine, monkeypatch
+):
+    """pack_traces='auto' + a coupling recorder: the engine must fall
+    back to the boolean path (one-shot AutoPackFallbackWarning) and
+    produce the exact boolean result — not run packed into the slow
+    per-event unpack leg."""
+    from repro.sim.bitpack import (
+        AutoPackFallbackWarning,
+        reset_auto_pack_warning,
+    )
+
+    monkeypatch.setattr(
+        des_engine, "coupling_pairs", [(0, 1)], raising=False
+    )
+    rng = np.random.default_rng(21)
+    n = 66
+    pt = int_to_bitarray(rng.integers(0, 2**63, n, dtype=np.uint64), 64)
+    ky = int_to_bitarray(rng.integers(0, 2**63, n, dtype=np.uint64), 64)
+    ct_b, p_b = des_engine.run_batch(
+        pt, ky, RandomnessSource(11),
+        coupling_coefficient=0.25, pack_traces=False,
+    )
+    reset_auto_pack_warning()
+    with pytest.warns(AutoPackFallbackWarning):
+        ct_a, p_a = des_engine.run_batch(
+            pt, ky, RandomnessSource(11),
+            coupling_coefficient=0.25, pack_traces="auto",
+        )
+    reset_auto_pack_warning()
+    assert np.array_equal(ct_b, ct_a)
+    assert np.array_equal(p_b, p_a)
+
+
+def test_suggest_batch_size_skips_lane_rounding_for_coupled_recorder():
+    from repro.sim.bitpack import reset_auto_pack_warning
+    from repro.sim.power import CouplingModel, PowerRecorder
+
+    coupled = PowerRecorder(
+        64, 1000, coupling=CouplingModel(pairs=[(0, 1)])
+    )
+    reset_auto_pack_warning()
+    with pytest.warns(Warning):
+        batch = suggest_batch_size(
+            10_000, 3, pack_traces="auto", recorder=coupled
+        )
+    reset_auto_pack_warning()
+    assert batch == 833  # boolean heuristic: no 64-trace rounding
+    plain = PowerRecorder(64, 1000)
+    assert (
+        suggest_batch_size(10_000, 3, pack_traces="auto", recorder=plain)
+        % 64
+        == 0
+    )

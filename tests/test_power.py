@@ -134,3 +134,133 @@ def test_coupling_per_trace_sign_product():
     # trace1: opposite (+1,-1): 2 + 1 = 3
     # trace2: only wire1 toggles: 1 (sign product 0)
     assert list(rec.power[:, 0]) == [1.0, 3.0, 1.0]
+
+
+# ----------------------------------------------------------------------
+# clamp accounting (events past the recorder window)
+# ----------------------------------------------------------------------
+def test_clamp_warns_once_and_counts_events():
+    from repro.sim.power import ClampedEventWarning
+
+    rec = PowerRecorder(1, 1000, bin_ps=250)
+    with pytest.warns(ClampedEventWarning, match="5000"):
+        rec.record_batch(5000, {0: ch([0], [1])})
+    # subsequent clamps on the same recorder stay silent but counted
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        rec.record_batch(6000, {0: ch([1], [0])})
+        rec.add_energy(7000, np.ones(1, dtype=np.float32))
+    assert rec.stats["clamped_events"] == 3
+    assert rec.power[0, -1] == 3.0
+
+
+def test_in_range_events_not_counted_as_clamped():
+    rec = PowerRecorder(1, 1000, bin_ps=250)
+    rec.record_batch(999, {0: ch([0], [1])})
+    rec.add_energy(0, np.ones(1, dtype=np.float32))
+    assert rec.stats["clamped_events"] == 0
+
+
+# ----------------------------------------------------------------------
+# packed accumulator protocol
+# ----------------------------------------------------------------------
+def test_accepts_packed_gates_on_coupling_and_weights():
+    assert PowerRecorder(8, 1000).accepts_packed is True
+    w_int = np.array([1.0, 5.0], dtype=np.float32)
+    assert PowerRecorder(8, 1000, weights=w_int).accepts_packed is True
+    coupled = PowerRecorder(
+        8, 1000, coupling=CouplingModel(pairs=[(0, 1)])
+    )
+    assert coupled.accepts_packed is False
+    assert coupled.packed_accumulator(8, 1) is None
+    w_frac = np.array([1.5, 1.0], dtype=np.float32)
+    assert PowerRecorder(8, 1000, weights=w_frac).accepts_packed is False
+    w_neg = np.array([-1.0, 1.0], dtype=np.float32)
+    assert PowerRecorder(8, 1000, weights=w_neg).accepts_packed is False
+    w_huge = np.array([float(2**24)], dtype=np.float32)
+    assert PowerRecorder(8, 1000, weights=w_huge).accepts_packed is False
+
+
+def test_packed_accumulator_matches_record_wire():
+    """Counter-plane accumulation == sequential float32 adds, bitwise,
+    including ragged pad bits and weight > 1 wires."""
+    from repro.sim.bitpack import n_lanes, pack_bool
+
+    rng = np.random.default_rng(0)
+    n = 100  # ragged final lane
+    weights = np.array([1.0, 3.0, 7.0], dtype=np.float32)
+    boolean = PowerRecorder(n, 2000, bin_ps=250, weights=weights)
+    packed = PowerRecorder(n, 2000, bin_ps=250, weights=weights)
+    acc = packed.packed_accumulator(n, n_lanes(n))
+    assert acc is not None
+    assert packed.packed_accumulator(n, n_lanes(n)) is acc  # reused
+    for t in (0, 130, 600, 1999, 2500):  # 2500 clamps
+        for wire in (0, 1, 2):
+            toggled = rng.integers(0, 2, n).astype(bool)
+            if not toggled.any():
+                continue
+            new = rng.integers(0, 2, n).astype(bool)
+            boolean.record_wire(t, wire, toggled, new)
+            acc.add(t, wire, pack_bool(toggled))
+    assert np.array_equal(packed.power, boolean.power)
+    assert packed.stats["clamped_events"] == boolean.stats["clamped_events"]
+    assert packed.stats["max_counter_planes"] > 0
+
+
+def test_packed_accumulator_rejects_trace_mismatch():
+    rec = PowerRecorder(8, 1000)
+    with pytest.raises(ValueError):
+        rec.packed_accumulator(16, 1)
+
+
+def test_power_read_flushes_pending_planes():
+    from repro.sim.bitpack import pack_bool
+
+    rec = PowerRecorder(4, 1000, bin_ps=250)
+    acc = rec.packed_accumulator(4, 1)
+    acc.add(0, 0, pack_bool(np.array([1, 0, 1, 0], bool)))
+    assert rec._power[0, 0] == 0.0  # nothing flushed yet
+    assert rec.power[0, 0] == 1.0  # property flushes
+    assert rec.samples()[2, 0] == 1.0
+    assert rec.power[0, 0] == 1.0  # flush is idempotent
+
+
+def test_packed_overflow_warns_loudly_not_silently_drifts():
+    """Two weight-2^23 toggles push a bin's count to 2^24: the flush
+    must warn (PackedAccumulatorOverflowWarning) and deposit the
+    correctly-rounded value instead of drifting quietly."""
+    from repro.sim.bitpack import pack_bool
+    from repro.sim.power import PackedAccumulatorOverflowWarning
+
+    w = np.array([float(2**23)], dtype=np.float32)
+    rec = PowerRecorder(2, 1000, bin_ps=1000, weights=w)
+    assert rec.accepts_packed  # 2^23 < 2^24: still integer-exact
+    acc = rec.packed_accumulator(2, 1)
+    both = pack_bool(np.array([1, 1], bool))
+    acc.add(0, 0, both)
+    acc.add(0, 0, both)  # count per trace: 2 * 2^23 = 2^24
+    with pytest.warns(PackedAccumulatorOverflowWarning):
+        power = rec.power
+    assert power[0, 0] == float(2**24)  # exactly representable here
+    assert rec.stats["overflow_bins"] == 1
+
+
+def test_packed_accumulator_counters_telemetry():
+    from repro.sim.bitpack import pack_bool
+    from repro.sim.power import (
+        packed_accumulator_counters,
+        reset_packed_accumulator_counters,
+    )
+
+    reset_packed_accumulator_counters()
+    rec = PowerRecorder(4, 1000, bin_ps=250)
+    acc = rec.packed_accumulator(4, 1)
+    acc.add(0, 0, pack_bool(np.ones(4, bool)))
+    _ = rec.power
+    counters = packed_accumulator_counters()
+    assert counters["accumulators"] == 1
+    assert counters["flushes"] == 1
+    assert counters["max_planes"] >= 1
+    assert counters["overflow_bins"] == 0
