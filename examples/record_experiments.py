@@ -4,7 +4,10 @@
 Budgets are the 'scaled defaults' of the experiment modules (large
 enough that every qualitative claim stabilises, small enough to run on
 a laptop core in well under an hour).  Output goes to stdout; redirect
-to a file to archive a run.
+to a file to archive a run — conventionally the git-ignored
+``eval_output/`` directory::
+
+    python examples/record_experiments.py > eval_output/experiments_output.txt
 """
 
 import time

@@ -9,11 +9,12 @@ Examples::
     python -m repro table3
     python -m repro table1 fig14 --quick
     python -m repro verify --preset secand2_pd
+    python -m repro compile --des-sbox 0
     python -m repro chaos --mode corrupt_checkpoint
 
-``verify`` and ``chaos`` are subcommands with their own flags
-(:mod:`repro.verify.cli`, :mod:`repro.chaos.cli`); everything else is
-an experiment id.
+``verify``, ``compile`` and ``chaos`` are subcommands with their own
+flags (:mod:`repro.verify.cli`, :mod:`repro.compile.cli`,
+:mod:`repro.chaos.cli`); everything else is an experiment id.
 """
 
 from __future__ import annotations
@@ -51,6 +52,10 @@ def main(argv=None) -> int:
         from .verify.cli import main as verify_main
 
         return verify_main(argv[1:])
+    if argv and argv[0] == "compile":
+        from .compile.cli import main as compile_main
+
+        return compile_main(argv[1:])
     if argv and argv[0] == "chaos":
         from .chaos.cli import main as chaos_main
 
@@ -69,6 +74,7 @@ def main(argv=None) -> int:
         for name in EXPERIMENTS:
             print(f"  {name}")
         print("  verify  (subcommand: python -m repro verify --help)")
+        print("  compile (subcommand: python -m repro compile --help)")
         print("  chaos   (subcommand: python -m repro chaos --help)")
         return 0
 

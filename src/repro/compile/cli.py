@@ -1,0 +1,306 @@
+"""Command line for the masking compiler: ``python -m repro compile``.
+
+Examples::
+
+    python -m repro compile --des-sbox 0
+    python -m repro compile --des-sbox all --style ff --json COMPILE.json
+    python -m repro compile --present-sbox --style pd --margin 100
+    python -m repro compile --table 0,1,1,0,1,0,0,1 --refresh selective
+    python -m repro compile --suite paper --json COMPILE_matrix.json
+    python -m repro compile --des-sbox 0 --n-luts 1 --margin 400 --vcd leak.vcd
+
+Exit status is 0 when every target compiles *and* certifies, 1 when a
+target is rejected (schedule failure or certification failure), 2 on
+usage errors.  With ``--json`` a ``compile_cli/v1`` report is written
+containing every target's compile metadata and full certificate; with
+``--vcd`` the first exact counterexample's waveform is dumped.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import List, Optional, Tuple
+
+from . import CompileResult, compile_spec
+from .certify import Certificate
+from .lower import CompileError
+from .refresh import REFRESH_MODES
+from .schedule import ScheduleError
+from .spec import (
+    FunctionSpec,
+    aes_sbox_spec,
+    des_sbox_spec,
+    present_sbox_spec,
+)
+
+__all__ = ["build_parser", "main"]
+
+_RULE = "-" * 64
+
+#: The paper's target matrix: all eight DES S-boxes (Sec. III), the
+#: PRESENT S-box and the AES S-box (Sec. VI cost comparison points).
+SUITE_PAPER = (
+    [f"des{i}" for i in range(8)] + ["present", "aes"]
+)
+
+
+def _parse_table(text: str) -> List[int]:
+    try:
+        return [int(v, 0) for v in text.split(",") if v.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--table wants a comma-separated list of entries, got {text!r}"
+        ) from None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro compile",
+        description="Glitch-safe masking compiler with certification",
+    )
+    tgt = parser.add_argument_group("targets")
+    tgt.add_argument(
+        "--des-sbox",
+        metavar="N|all",
+        help="compile DES S-box N (0..7), or all eight",
+    )
+    tgt.add_argument(
+        "--present-sbox", action="store_true", help="compile the PRESENT S-box"
+    )
+    tgt.add_argument(
+        "--aes-sbox", action="store_true", help="compile the AES S-box"
+    )
+    tgt.add_argument(
+        "--table",
+        type=_parse_table,
+        metavar="CSV",
+        help="compile a raw truth table (comma-separated entries)",
+    )
+    tgt.add_argument(
+        "--suite",
+        choices=["paper"],
+        help="compile the paper target matrix (8x DES + PRESENT + AES)",
+    )
+    parser.add_argument(
+        "--style",
+        choices=["pd", "ff"],
+        default="pd",
+        help="emission style (default pd)",
+    )
+    parser.add_argument(
+        "--margin",
+        type=int,
+        default=50,
+        metavar="PS",
+        help="required y1 ordering margin in ps (default 50)",
+    )
+    parser.add_argument(
+        "--n-luts",
+        type=int,
+        default=None,
+        metavar="N",
+        help="pin the DelayUnit size instead of solving for it",
+    )
+    parser.add_argument(
+        "--refresh",
+        choices=list(REFRESH_MODES),
+        default="auto",
+        help="refresh insertion mode (default auto)",
+    )
+    parser.add_argument(
+        "--exact",
+        choices=["sites", "whole", "none"],
+        default="sites",
+        help="exact verification mode (default sites)",
+    )
+    parser.add_argument(
+        "--uniformity",
+        type=int,
+        default=0,
+        metavar="N",
+        help="uniformity-audit samples per input (0 = skip)",
+    )
+    parser.add_argument(
+        "--tvla",
+        type=int,
+        default=0,
+        metavar="N",
+        help="TVLA spot-check trace budget (0 = skip)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smoke budget: suite shrinks to DES S-box 0 + PRESENT",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", help="write a machine-readable report"
+    )
+    parser.add_argument(
+        "--vcd",
+        metavar="PATH",
+        help="dump the first exact counterexample's waveform",
+    )
+    return parser
+
+
+def _target_spec(name: str) -> FunctionSpec:
+    if name.startswith("des"):
+        return des_sbox_spec(int(name[3:]))
+    if name == "present":
+        return present_sbox_spec()
+    if name == "aes":
+        return aes_sbox_spec()
+    raise ValueError(name)
+
+
+def _collect_targets(args, parser) -> List[Tuple[str, FunctionSpec]]:
+    targets: List[Tuple[str, FunctionSpec]] = []
+    if args.suite == "paper":
+        names = ["des0", "present"] if args.quick else SUITE_PAPER
+        targets.extend((n, _target_spec(n)) for n in names)
+    if args.des_sbox is not None:
+        if args.des_sbox == "all":
+            targets.extend(
+                (f"des{i}", des_sbox_spec(i)) for i in range(8)
+            )
+        else:
+            try:
+                i = int(args.des_sbox)
+            except ValueError:
+                parser.error(f"--des-sbox wants 0..7 or 'all', got {args.des_sbox!r}")
+            if not 0 <= i <= 7:
+                parser.error(f"--des-sbox wants 0..7 or 'all', got {i}")
+            targets.append((f"des{i}", des_sbox_spec(i)))
+    if args.present_sbox:
+        targets.append(("present", present_sbox_spec()))
+    if args.aes_sbox:
+        targets.append(("aes", aes_sbox_spec()))
+    if args.table is not None:
+        targets.append(
+            ("table", FunctionSpec.from_truth_table(args.table, name="table"))
+        )
+    return targets
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    targets = _collect_targets(args, parser)
+    if not targets:
+        parser.print_usage(sys.stderr)
+        print(
+            "error: pick a target (--des-sbox, --present-sbox, --aes-sbox, "
+            "--table or --suite paper)",
+            file=sys.stderr,
+        )
+        return 2
+
+    report: dict = {
+        "schema": "compile_cli/v1",
+        "style": args.style,
+        "results": [],
+    }
+    status = 0
+    vcd_written = False
+    t0 = time.time()
+    for name, spec in targets:
+        print(_RULE)
+        entry: dict = {"target": name, "style": args.style}
+        try:
+            result: CompileResult = compile_spec(
+                spec,
+                style=args.style,
+                margin_ps=args.margin,
+                n_luts=args.n_luts,
+                refresh=args.refresh,
+            )
+        except ScheduleError as err:
+            print(f"{name}: REJECTED (schedule): {err}")
+            for v in err.violations[:6]:
+                print(f"  violation: {v}")
+            entry.update(
+                ok=False,
+                error="schedule",
+                message=str(err),
+                n_violations=len(err.violations),
+                required_n_luts=err.required_n_luts,
+            )
+            if (
+                args.vcd
+                and not vcd_written
+                and err.counterexample is not None
+                and err.site_spec is not None
+            ):
+                from ..verify.report import counterexample_vcd
+
+                with open(args.vcd, "w") as fh:
+                    fh.write(
+                        counterexample_vcd(err.site_spec, err.counterexample)
+                    )
+                print(f"  counterexample VCD -> {args.vcd}")
+                vcd_written = True
+            report["results"].append(entry)
+            status = 1
+            continue
+        except CompileError as err:
+            print(f"{name}: REJECTED (lowering): {err}")
+            entry.update(ok=False, error="lowering", message=str(err))
+            report["results"].append(entry)
+            status = 1
+            continue
+
+        cert: Certificate = result.certify(
+            exact=args.exact,
+            uniformity_n=args.uniformity,
+            tvla_traces=args.tvla,
+        )
+        print(cert.render())
+        entry.update(
+            ok=cert.ok,
+            compile=result.to_json_dict(),
+            certificate=cert.to_json_dict(),
+        )
+        report["results"].append(entry)
+        if not cert.ok:
+            status = 1
+            if (
+                args.vcd
+                and not vcd_written
+                and cert.counterexample is not None
+                and cert.counterexample_spec is not None
+            ):
+                from ..verify.report import counterexample_vcd
+
+                with open(args.vcd, "w") as fh:
+                    fh.write(
+                        counterexample_vcd(
+                            cert.counterexample_spec, cert.counterexample
+                        )
+                    )
+                print(f"  counterexample VCD -> {args.vcd}")
+                vcd_written = True
+
+    print(_RULE)
+    n_ok = sum(1 for r in report["results"] if r.get("ok"))
+    report["ok"] = status == 0
+    report["n_targets"] = len(targets)
+    report["n_certified"] = n_ok
+    report["elapsed_s"] = round(time.time() - t0, 2)
+    print(
+        f"{n_ok}/{len(targets)} targets certified "
+        f"[{report['elapsed_s']:.1f}s]"
+    )
+    if args.vcd and not vcd_written:
+        print(f"no exact counterexample found; {args.vcd} not written")
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=2)
+        print(f"report -> {args.json}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,310 @@
+"""Pass 1: ANF extraction + product-tree lowering.
+
+Lowers a :class:`~repro.compile.spec.FunctionSpec` into the paper's
+S-box shape (Sec. III): an *inner core* of at most four variables whose
+per-row ANFs are computed as secAND2 product chains, and an optional
+*MUX stage* over the remaining ``k`` select variables — ``2**k``
+cofactor rows combined through select-minterm secAND2 products exactly
+like the DES engines' 4-row MUX.
+
+Conventions (shared with :mod:`repro.compile.spec`):
+
+* inner position ``p`` (0-based) is bit ``n_inner - 1 - p`` of a local
+  monomial mask, so for the 4-variable core the masks coincide with
+  :data:`repro.des.sbox_anf.ALL_MONOMIALS`;
+* select position ``p`` is bit ``k - 1 - p`` of the row index, so DES's
+  ``select_vars=(0, 5)`` gives ``row = 2*x0 + x5`` — the classic DES
+  row convention.
+
+Product chains follow the hand-built engines' factorisation: a
+degree-``d`` monomial is ``prefix AND extra`` where ``extra`` is the
+*highest* inner position in the mask and ``prefix`` the remaining
+``d-1`` positions — computed as its own (possibly chain-internal)
+monomial.  With ``all_products=True`` (the paper's DES choice) the AND
+stage computes every monomial up to the used degree whether or not a
+row consumes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .spec import FunctionSpec, mobius_transform
+
+__all__ = ["CompileError", "RowPlan", "LoweredPlan", "lower"]
+
+#: The paper's product chains stay glitch-safe because each chain link
+#: adds one staggered operand; the inner core is capped at 4 variables
+#: like the DES/PRESENT mini S-boxes (wider functions go through the
+#: MUX stage).
+MAX_INNER_VARS = 4
+
+
+class CompileError(RuntimeError):
+    """A specification the pipeline cannot lower or schedule."""
+
+
+def _popcount(mask: int) -> int:
+    return bin(mask).count("1")
+
+
+@dataclass(frozen=True)
+class RowPlan:
+    """ANF of one cofactor row over the inner variables.
+
+    ``constants[b]`` / ``linear[b]`` / ``products[b]`` describe output
+    bit ``b``: the constant term, the linear inner *positions*, and the
+    degree->=2 local monomial masks.
+    """
+
+    row: int
+    constants: Tuple[int, ...]
+    linear: Tuple[Tuple[int, ...], ...]
+    products: Tuple[Tuple[int, ...], ...]
+
+    def bit_is_constant(self, b: int) -> bool:
+        return not self.linear[b] and not self.products[b]
+
+
+@dataclass(frozen=True)
+class LoweredPlan:
+    """The lowered shape of one function: rows + shared monomials."""
+
+    spec: FunctionSpec
+    select_vars: Tuple[int, ...]
+    inner_vars: Tuple[int, ...]
+    monomials: Tuple[int, ...]
+    rows: Tuple[RowPlan, ...]
+    all_products: bool
+
+    @property
+    def n_inner(self) -> int:
+        return len(self.inner_vars)
+
+    @property
+    def n_select(self) -> int:
+        return len(self.select_vars)
+
+    @property
+    def n_rows(self) -> int:
+        return 1 << self.n_select
+
+    def position_mask(self, p: int) -> int:
+        """Local monomial mask of inner position ``p`` alone."""
+        return 1 << (self.n_inner - 1 - p)
+
+    def mask_positions(self, mask: int) -> Tuple[int, ...]:
+        """Inner positions of a local monomial mask, ascending."""
+        return tuple(
+            p for p in range(self.n_inner) if mask & self.position_mask(p)
+        )
+
+    def factor(self, mask: int) -> Tuple[int, int]:
+        """``mask = prefix AND position`` chain factorisation.
+
+        Returns ``(prefix_mask, extra_position)`` with ``extra`` the
+        highest inner position of the monomial; ``prefix`` has degree
+        ``>= 1`` (a bare variable for degree-2 monomials, an earlier
+        chain product otherwise).
+        """
+        positions = self.mask_positions(mask)
+        if len(positions) < 2:
+            raise ValueError(f"monomial {mask:#x} has degree < 2")
+        extra = positions[-1]
+        return mask & ~self.position_mask(extra), extra
+
+    def chain_length(self, mask: int) -> int:
+        """secAND2 gadgets on the chain computing ``mask``."""
+        return _popcount(mask) - 1
+
+    def n_secand2(self) -> int:
+        """Total secAND2 gadgets the emitted netlist will contain."""
+        count = len(self.monomials)
+        if self.n_select:
+            # select-minterm tree: one gadget per internal node of each
+            # literal chain, with shared prefixes deduplicated.
+            count += sum(1 << level for level in range(2, self.n_select + 1))
+            # stage 2: one gadget per non-constant row bit.
+            count += sum(
+                1
+                for row in self.rows
+                for b in range(self.spec.n_outputs)
+                if not row.bit_is_constant(b)
+            )
+        return count
+
+    def render(self) -> str:
+        lines = [
+            f"{self.spec.name}: {self.spec.n_inputs} inputs -> "
+            f"{self.spec.n_outputs} outputs",
+            f"  inner vars   {self.inner_vars}  select vars "
+            f"{self.select_vars} ({self.n_rows} rows)",
+            f"  monomials    {len(self.monomials)} "
+            f"({[f'{m:#x}' for m in self.monomials]})",
+            f"  secAND2 count {self.n_secand2()}",
+        ]
+        return "\n".join(lines)
+
+
+def _cofactor_table(
+    spec: FunctionSpec,
+    select_vars: Sequence[int],
+    inner_vars: Sequence[int],
+    row: int,
+) -> List[int]:
+    n, k = spec.n_inputs, len(select_vars)
+    n_inner = len(inner_vars)
+    base = 0
+    for p, v in enumerate(select_vars):
+        if (row >> (k - 1 - p)) & 1:
+            base |= 1 << (n - 1 - v)
+    table = []
+    for j in range(1 << n_inner):
+        idx = base
+        for q, v in enumerate(inner_vars):
+            if (j >> (n_inner - 1 - q)) & 1:
+                idx |= 1 << (n - 1 - v)
+        table.append(spec.table[idx])
+    return table
+
+
+def _row_plan(spec: FunctionSpec, n_inner: int, row: int, table: Sequence[int]) -> RowPlan:
+    constants: List[int] = []
+    linear: List[Tuple[int, ...]] = []
+    products: List[Tuple[int, ...]] = []
+    for b in range(spec.n_outputs):
+        shift = spec.n_outputs - 1 - b
+        coef = mobius_transform([(v >> shift) & 1 for v in table], n_inner)
+        constants.append(coef[0])
+        linear.append(
+            tuple(
+                p
+                for p in range(n_inner)
+                if coef[1 << (n_inner - 1 - p)]
+            )
+        )
+        products.append(
+            tuple(
+                sorted(
+                    mask
+                    for mask in range(1, 1 << n_inner)
+                    if coef[mask] and _popcount(mask) >= 2
+                )
+            )
+        )
+    return RowPlan(
+        row=row,
+        constants=tuple(constants),
+        linear=tuple(linear),
+        products=tuple(products),
+    )
+
+
+def lower(
+    spec: FunctionSpec,
+    select_vars: Optional[Sequence[int]] = None,
+    all_products: Optional[bool] = None,
+) -> LoweredPlan:
+    """Lower a spec into inner-core rows + MUX select products.
+
+    Args:
+        select_vars: Which spec variables drive the MUX (position order
+            = row-index bit order).  Defaults to the spec's
+            ``preferred_select_vars``, else the first ``n - 4``
+            variables; must leave 1..4 inner variables.
+        all_products: Compute every inner monomial up to the used
+            degree (the paper's DES choice — keeps the AND stage
+            data-independent across rows).  Defaults to True when the
+            spec declares preferred selects (the DES path), else False.
+    """
+    n = spec.n_inputs
+    if select_vars is None:
+        if spec.preferred_select_vars is not None:
+            select_vars = spec.preferred_select_vars
+        elif n > MAX_INNER_VARS:
+            select_vars = tuple(range(n - MAX_INNER_VARS))
+        else:
+            select_vars = ()
+    select_vars = tuple(int(v) for v in select_vars)
+    if all_products is None:
+        all_products = spec.preferred_select_vars is not None
+    if len(set(select_vars)) != len(select_vars):
+        raise CompileError(f"duplicate select variables {select_vars}")
+    for v in select_vars:
+        if not 0 <= v < n:
+            raise CompileError(f"select variable {v} out of range 0..{n - 1}")
+    inner_vars = tuple(v for v in range(n) if v not in select_vars)
+    n_inner = len(inner_vars)
+    if not 1 <= n_inner <= MAX_INNER_VARS:
+        raise CompileError(
+            f"{spec.name}: {n_inner} inner variables after removing "
+            f"selects {select_vars}; need 1..{MAX_INNER_VARS} "
+            "(choose more/fewer select_vars)"
+        )
+    k = len(select_vars)
+
+    rows = tuple(
+        _row_plan(
+            spec,
+            n_inner,
+            r,
+            _cofactor_table(spec, select_vars, inner_vars, r),
+        )
+        for r in range(1 << k)
+    )
+
+    # every output bit must have at least one contributing term in some
+    # row — a constant output has no masked representation here.
+    for b in range(spec.n_outputs):
+        if all(
+            row.bit_is_constant(b) and row.constants[b] == 0 for row in rows
+        ):
+            raise CompileError(
+                f"{spec.name}: output bit {b} is constant 0 — constant "
+                "outputs cannot be masked; drop the bit from the spec"
+            )
+        if k == 0 and rows[0].bit_is_constant(b):
+            raise CompileError(
+                f"{spec.name}: output bit {b} is constant — constant "
+                "outputs cannot be masked; drop the bit from the spec"
+            )
+
+    # shared monomial set: everything some row uses, closed under chain
+    # prefixes so every factorisation lands on a computed product.
+    used = set()
+    for row in rows:
+        for masks in row.products:
+            used.update(masks)
+    max_degree = max((_popcount(m) for m in used), default=2)
+    if all_products:
+        used = {
+            sum(1 << b for b in bits)
+            for d in range(2, max(2, max_degree) + 1)
+            for bits in combinations(range(n_inner), d)
+        }
+    pending = list(used)
+    while pending:
+        mask = pending.pop()
+        if _popcount(mask) < 3:
+            continue
+        positions = [
+            p
+            for p in range(n_inner)
+            if mask & (1 << (n_inner - 1 - p))
+        ]
+        prefix = mask & ~(1 << (n_inner - 1 - positions[-1]))
+        if prefix not in used:
+            used.add(prefix)
+            pending.append(prefix)
+    monomials = tuple(sorted(used, key=lambda m: (_popcount(m), m)))
+
+    return LoweredPlan(
+        spec=spec,
+        select_vars=select_vars,
+        inner_vars=inner_vars,
+        monomials=monomials,
+        rows=rows,
+        all_products=bool(all_products),
+    )

@@ -1,0 +1,198 @@
+"""Pass 2: dependency-tracking refresh insertion.
+
+secAND2 consumes no fresh randomness, so its output share pair is *not*
+a uniform sharing of the product — XOR-ing dependent terms leaks.  The
+paper's engines refresh every product and every MUX select before the
+XOR plane (Sec. III-C).  This pass does better, in two tiers:
+
+* a **static dependency rule** that keeps a product's refresh only when
+  the XOR plane actually needs it — the product feeds more than one
+  plane, shares a plane with another nonlinear term, or has no
+  independent linear share in its plane to mask it (a disjoint linear
+  term's random share re-randomises the sum for free);
+* an optional **empirical uniformity search** — the exact greedy loop
+  of :mod:`repro.des.selective_refresh`, run through
+  :func:`repro.core.refresh_search.greedy_minimize` against the
+  compiler's own :class:`~repro.compile.model.PlanModel` — that prunes
+  further while the measured share distribution stays uniform.
+
+MUX select products are always refreshed: they feed the ``x`` operand
+of every stage-2 gadget and are reused across all output bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from ..core.refresh_search import GreedySearchResult, greedy_minimize
+from .lower import CompileError, LoweredPlan
+
+__all__ = [
+    "RefreshPosition",
+    "RefreshChoice",
+    "refresh_positions",
+    "static_required",
+    "plan_refresh",
+]
+
+REFRESH_MODES = ("full", "static", "selective", "auto")
+
+
+@dataclass(frozen=True)
+class RefreshPosition:
+    """One potential fresh-randomness consumer.
+
+    ``key`` is ``("prod", mask)`` for an inner product or
+    ``("sel", row)`` for a MUX select minterm; positions are ordered
+    products-then-selects, matching the hand-built engines' random-bit
+    layout (``r0..r9`` products, ``r10..r13`` selects for DES).
+    """
+
+    kind: str
+    key: Tuple[str, int]
+    label: str
+
+
+def refresh_positions(plan: LoweredPlan) -> Tuple[RefreshPosition, ...]:
+    """All refreshable positions of a plan, in random-bit order."""
+    positions = [
+        RefreshPosition("prod", ("prod", mask), f"prod_{mask:#x}")
+        for mask in plan.monomials
+    ]
+    positions.extend(
+        RefreshPosition("sel", ("sel", r), f"sel_{r}")
+        for r in range(plan.n_rows if plan.n_select else 0)
+    )
+    return tuple(positions)
+
+
+def static_required(plan: LoweredPlan) -> Tuple[bool, ...]:
+    """The static dependency rule, per refresh position.
+
+    A product keeps its refresh unless *every* plane that consumes it
+    contains no other nonlinear term and at least one linear term over
+    a variable outside the product's support (whose uniform random
+    share masks the sum), and it is consumed by exactly one plane.
+    Chain-only prefixes (never XOR-ed) need no refresh.  Selects are
+    always kept.
+    """
+    required = []
+    for pos in refresh_positions(plan):
+        if pos.kind == "sel":
+            required.append(True)
+            continue
+        mask = pos.key[1]
+        support = set(plan.mask_positions(mask))
+        planes = [
+            (row, b)
+            for row in plan.rows
+            for b in range(plan.spec.n_outputs)
+            if mask in row.products[b]
+        ]
+        if not planes:
+            required.append(False)  # chain prefix / unused all_products
+            continue
+        if len(planes) >= 2:
+            required.append(True)
+            continue
+        row, b = planes[0]
+        other_products = [m for m in row.products[b] if m != mask]
+        disjoint_linear = any(p not in support for p in row.linear[b])
+        required.append(bool(other_products) or not disjoint_linear)
+    return tuple(required)
+
+
+@dataclass(frozen=True)
+class RefreshChoice:
+    """Resolved refresh plan: which positions consume a random bit."""
+
+    mode: str
+    positions: Tuple[RefreshPosition, ...]
+    mask: Tuple[bool, ...]
+    search: Optional[GreedySearchResult] = None
+
+    @property
+    def bits_full(self) -> int:
+        return len(self.positions)
+
+    @property
+    def bits_used(self) -> int:
+        return sum(self.mask)
+
+    @property
+    def bits_saved(self) -> int:
+        return self.bits_full - self.bits_used
+
+    def kept_labels(self) -> Tuple[str, ...]:
+        return tuple(
+            p.label for p, m in zip(self.positions, self.mask) if m
+        )
+
+    def to_json_dict(self) -> dict:
+        return {
+            "mode": self.mode,
+            "bits_full": self.bits_full,
+            "bits_used": self.bits_used,
+            "kept": list(self.kept_labels()),
+            "defect": None if self.search is None else self.search.defect,
+            "floor": None if self.search is None else self.search.floor,
+        }
+
+
+def plan_refresh(
+    plan: LoweredPlan,
+    mode: str = "auto",
+    n_per_input: int = 800,
+    tolerance_factor: float = 2.0,
+    seed: int = 0,
+) -> RefreshChoice:
+    """Choose refresh positions for a lowered plan.
+
+    Modes: ``"full"`` refreshes everything (the paper's baseline),
+    ``"static"`` applies the dependency rule, ``"selective"`` runs the
+    greedy uniformity search on top of the model, and ``"auto"`` picks
+    ``selective`` for functions narrow enough to sample exhaustively
+    (``n_inputs <= 6``) and ``static`` beyond.
+    """
+    if mode not in REFRESH_MODES:
+        raise CompileError(
+            f"refresh mode must be one of {REFRESH_MODES}, got {mode!r}"
+        )
+    positions = refresh_positions(plan)
+    if mode == "auto":
+        mode = "selective" if plan.spec.n_inputs <= 6 else "static"
+    if mode == "full":
+        return RefreshChoice(
+            mode="full", positions=positions, mask=(True,) * len(positions)
+        )
+    if mode == "static":
+        return RefreshChoice(
+            mode="static", positions=positions, mask=static_required(plan)
+        )
+
+    # selective: empirical greedy prune, same loop as DES.
+    from .model import PlanModel, uniformity_defect
+
+    model = PlanModel(plan)
+    static_mask = static_required(plan)
+    # visit statically-unneeded positions first (their drop is free and
+    # keeps the sample budget for the contested ones), then the rest —
+    # both groups highest-index first like the historical DES order.
+    order = [
+        i for i in range(len(positions) - 1, -1, -1) if not static_mask[i]
+    ] + [i for i in range(len(positions) - 1, -1, -1) if static_mask[i]]
+    result = greedy_minimize(
+        lambda mask, salt: uniformity_defect(
+            model, mask, n_per_input=n_per_input, seed=seed + salt
+        ),
+        n_positions=len(positions),
+        tolerance_factor=tolerance_factor,
+        order=order,
+    )
+    return RefreshChoice(
+        mode="selective",
+        positions=positions,
+        mask=result.mask,
+        search=result,
+    )

@@ -1,0 +1,306 @@
+"""Unmasked function specifications — the compiler's input format.
+
+A :class:`FunctionSpec` is a plain truth table over ``n_inputs`` boolean
+variables with ``n_outputs`` boolean outputs, plus the naming/bit
+conventions the rest of the pipeline relies on:
+
+* input variable ``i`` is bit ``n_inputs - 1 - i`` of the truth-table
+  index (variable 0 is the MSB — the convention of
+  :mod:`repro.des.sbox_anf`, where the row tables are indexed by
+  ``x1 x2 x3 x4``);
+* output bit ``b`` is bit ``n_outputs - 1 - b`` of each table entry
+  (output 0 is the MSB, matching the hand-built engines' ``y0..y3``).
+
+Specs can be built from a raw table (:meth:`FunctionSpec.from_truth_table`),
+from an ANF monomial list (:meth:`FunctionSpec.from_anf`), or extracted
+from an existing *unmasked* combinational :class:`~repro.netlist.circuit.Circuit`
+(:meth:`FunctionSpec.from_circuit`).  The cipher S-boxes the paper's
+engines implement are available as ready-made presets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "MAX_SPEC_INPUTS",
+    "FunctionSpec",
+    "mobius_transform",
+    "anf_to_table",
+    "des_sbox_spec",
+    "present_sbox_spec",
+    "aes_sbox_spec",
+]
+
+#: Truth tables are dense (2^n entries) and the certifier enumerates
+#: all unshared inputs, so cap the spec width well before that becomes
+#: unreasonable.  The AES S-box (n=8) is the largest paper target.
+MAX_SPEC_INPUTS = 12
+
+
+def mobius_transform(table: Sequence[int], n: int) -> Tuple[int, ...]:
+    """ANF coefficients of a single-output truth table (any ``n``).
+
+    ``table[idx]`` is the function value at input index ``idx`` (bit
+    conventions as in the module docstring); the result ``coef[mask]``
+    is 1 iff the monomial whose variable set is ``mask`` (same bit
+    convention) appears in the ANF.  Generalises the 4-variable
+    transform in :mod:`repro.des.sbox_anf` to arbitrary width.
+    """
+    size = 1 << n
+    if len(table) != size:
+        raise ValueError(f"table must have {size} entries, got {len(table)}")
+    coef = [v & 1 for v in table]
+    for i in range(n):
+        step = 1 << i
+        for idx in range(size):
+            if idx & step:
+                coef[idx] ^= coef[idx ^ step]
+    return tuple(coef)
+
+
+def anf_to_table(
+    monomials: Sequence[int], n: int, constant: int = 0
+) -> Tuple[int, ...]:
+    """Evaluate an ANF (set of monomial masks + constant) to a table."""
+    out = []
+    for idx in range(1 << n):
+        v = constant & 1
+        for mask in monomials:
+            if (idx & mask) == mask:
+                v ^= 1
+        out.append(v)
+    return tuple(out)
+
+
+@dataclass(frozen=True)
+class FunctionSpec:
+    """An unmasked boolean function ``{0,1}^n -> {0,1}^m``.
+
+    Attributes:
+        name: Label used in netlist/report names.
+        n_inputs: Number of input variables.
+        n_outputs: Number of output bits.
+        table: ``2**n_inputs`` entries, each an ``m``-bit integer.
+        preferred_select_vars: Variables the lowering pass should use as
+            MUX selects when the function is wider than the 4-variable
+            inner core (DES uses the outer bits ``x0``/``x5``).
+    """
+
+    name: str
+    n_inputs: int
+    n_outputs: int
+    table: Tuple[int, ...]
+    preferred_select_vars: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.n_inputs <= MAX_SPEC_INPUTS:
+            raise ValueError(
+                f"n_inputs must be in 1..{MAX_SPEC_INPUTS}, got {self.n_inputs}"
+            )
+        if self.n_outputs < 1:
+            raise ValueError("n_outputs must be >= 1")
+        if len(self.table) != 1 << self.n_inputs:
+            raise ValueError(
+                f"table must have {1 << self.n_inputs} entries, "
+                f"got {len(self.table)}"
+            )
+        limit = 1 << self.n_outputs
+        for idx, v in enumerate(self.table):
+            if not 0 <= v < limit:
+                raise ValueError(
+                    f"table[{idx}] = {v} out of range for "
+                    f"{self.n_outputs} output bits"
+                )
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_truth_table(
+        cls,
+        table: Sequence[int],
+        n_outputs: Optional[int] = None,
+        name: str = "func",
+        preferred_select_vars: Optional[Sequence[int]] = None,
+    ) -> "FunctionSpec":
+        """Spec from a dense truth table (``n`` inferred from length)."""
+        size = len(table)
+        n = size.bit_length() - 1
+        if size != 1 << n or size < 2:
+            raise ValueError(f"table length {size} is not a power of two >= 2")
+        if n_outputs is None:
+            n_outputs = max(1, max(int(v) for v in table).bit_length())
+        return cls(
+            name=name,
+            n_inputs=n,
+            n_outputs=n_outputs,
+            table=tuple(int(v) for v in table),
+            preferred_select_vars=(
+                None
+                if preferred_select_vars is None
+                else tuple(preferred_select_vars)
+            ),
+        )
+
+    @classmethod
+    def from_anf(
+        cls,
+        outputs: Sequence[Sequence[int]],
+        n_inputs: int,
+        constants: Optional[Sequence[int]] = None,
+        name: str = "anf",
+        preferred_select_vars: Optional[Sequence[int]] = None,
+    ) -> "FunctionSpec":
+        """Spec from per-output monomial masks (+ optional constants).
+
+        ``outputs[b]`` lists the monomial masks of output bit ``b``
+        (bit conventions as in the module docstring).
+        """
+        m = len(outputs)
+        if m < 1:
+            raise ValueError("need at least one output")
+        if constants is None:
+            constants = [0] * m
+        tables = [
+            anf_to_table(mons, n_inputs, constant=c)
+            for mons, c in zip(outputs, constants)
+        ]
+        table = tuple(
+            int(
+                sum(
+                    tables[b][idx] << (m - 1 - b)
+                    for b in range(m)
+                )
+            )
+            for idx in range(1 << n_inputs)
+        )
+        return cls(
+            name=name,
+            n_inputs=n_inputs,
+            n_outputs=m,
+            table=table,
+            preferred_select_vars=(
+                None
+                if preferred_select_vars is None
+                else tuple(preferred_select_vars)
+            ),
+        )
+
+    @classmethod
+    def from_circuit(cls, circuit, name: Optional[str] = None) -> "FunctionSpec":
+        """Extract the truth table of an unmasked combinational circuit.
+
+        Input variable order is the circuit's primary-input order and
+        output bit order the circuit's output order.  Circuits with
+        flip-flops are rejected — the compiler masks combinational
+        functions; sequential control belongs outside the S-box.
+        """
+        from ..sim.vectorsim import VectorSimulator
+
+        if circuit.ff_gates():
+            raise ValueError(
+                f"'{circuit.name}' contains flip-flops; "
+                "from_circuit only accepts combinational functions"
+            )
+        n = len(circuit.inputs)
+        if not 1 <= n <= MAX_SPEC_INPUTS:
+            raise ValueError(
+                f"circuit has {n} inputs; supported range is "
+                f"1..{MAX_SPEC_INPUTS}"
+            )
+        out_names = list(circuit.outputs)
+        m = len(out_names)
+        if m < 1:
+            raise ValueError(f"'{circuit.name}' has no outputs")
+        size = 1 << n
+        idx = np.arange(size, dtype=np.int64)
+        sim = VectorSimulator(circuit, n_traces=size)
+        sim.evaluate_combinational(
+            {
+                wire: ((idx >> (n - 1 - i)) & 1).astype(bool)
+                for i, wire in enumerate(circuit.inputs)
+            }
+        )
+        values = sim.output_values()
+        table = np.zeros(size, dtype=np.int64)
+        for b, out in enumerate(out_names):
+            table |= values[out].astype(np.int64) << (m - 1 - b)
+        return cls(
+            name=name if name is not None else circuit.name,
+            n_inputs=n,
+            n_outputs=m,
+            table=tuple(int(v) for v in table),
+        )
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def output_bit_table(self, b: int) -> Tuple[int, ...]:
+        """Single-output truth table of output bit ``b``."""
+        shift = self.n_outputs - 1 - b
+        return tuple((v >> shift) & 1 for v in self.table)
+
+    def anf(self) -> Tuple[Tuple[int, ...], ...]:
+        """Per-output ANF coefficient vectors (index = monomial mask)."""
+        return tuple(
+            mobius_transform(self.output_bit_table(b), self.n_inputs)
+            for b in range(self.n_outputs)
+        )
+
+    def degree(self) -> int:
+        """Algebraic degree over all outputs."""
+        deg = 0
+        for coef in self.anf():
+            for mask, c in enumerate(coef):
+                if c and mask:
+                    deg = max(deg, bin(mask).count("1"))
+        return deg
+
+    def evaluate(self, idx: int) -> int:
+        return self.table[idx]
+
+
+# ----------------------------------------------------------------------
+# paper targets
+# ----------------------------------------------------------------------
+def des_sbox_spec(index: int) -> FunctionSpec:
+    """DES S-box ``index`` (0..7) as a 6-in/4-out spec.
+
+    Variable order matches the engines: ``x0 x1 x2 x3 x4 x5`` with the
+    classic DES row bits ``(x0, x5)`` flagged as the preferred MUX
+    selects, so the lowering pass reproduces the hand-built
+    4-mini-S-box + MUX decomposition.
+    """
+    from ..des.reference import sbox_lookup
+
+    if not 0 <= index < 8:
+        raise ValueError(f"DES S-box index must be 0..7, got {index}")
+    return FunctionSpec(
+        name=f"des_sbox{index}",
+        n_inputs=6,
+        n_outputs=4,
+        table=tuple(sbox_lookup(index, v) for v in range(64)),
+        preferred_select_vars=(0, 5),
+    )
+
+
+def present_sbox_spec() -> FunctionSpec:
+    """The PRESENT 4-bit S-box (degree 3, fits the inner core alone)."""
+    from ..present.reference import SBOX
+
+    return FunctionSpec(
+        name="present_sbox", n_inputs=4, n_outputs=4, table=tuple(SBOX)
+    )
+
+
+def aes_sbox_spec() -> FunctionSpec:
+    """The AES S-box as an 8-in/8-out spec (4 select vars, 16 rows)."""
+    from ..aes.reference import SBOX
+
+    return FunctionSpec(
+        name="aes_sbox", n_inputs=8, n_outputs=8, table=tuple(SBOX)
+    )

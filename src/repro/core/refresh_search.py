@@ -1,0 +1,93 @@
+"""Greedy minimal-refresh search, factored out of ``des.selective_refresh``.
+
+The search itself is gadget-agnostic: given a *defect function* that
+measures how far a masked design's share distribution is from uniform
+under an arbitrary subset of refresh positions, drop positions one at a
+time and keep a drop only while the defect stays within a tolerance of
+the full-refresh statistical floor.  The DES exploration
+(:mod:`repro.des.selective_refresh`) and the compiler's refresh pass
+(:mod:`repro.compile.refresh`) both run this exact loop — only the
+defect function differs.
+
+The defect function receives ``(mask, salt)``.  ``salt`` is a small
+integer the caller folds into its RNG seed so every evaluation draws an
+independent sample: ``0`` for the full-refresh floor, ``pos + 1`` for
+the trial that drops position ``pos``, and ``FINAL_SALT`` for the
+confirmation run on the final mask.  These values are pinned so the
+factored search reproduces the historical ``des.selective_refresh``
+numerics bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence, Tuple
+
+__all__ = ["FINAL_SALT", "GreedySearchResult", "greedy_minimize"]
+
+#: Salt of the confirmation evaluation on the final mask (historical
+#: constant from the original DES search; changing it would shift the
+#: reported defect of every pinned plan).
+FINAL_SALT = 99
+
+DefectFn = Callable[[Sequence[bool], int], float]
+
+
+@dataclass(frozen=True)
+class GreedySearchResult:
+    """Outcome of one greedy minimisation."""
+
+    mask: Tuple[bool, ...]
+    defect: float
+    floor: float
+    threshold: float
+
+    @property
+    def bits_used(self) -> int:
+        return sum(self.mask)
+
+    @property
+    def bits_saved(self) -> int:
+        return len(self.mask) - self.bits_used
+
+    @property
+    def kept(self) -> Tuple[int, ...]:
+        return tuple(i for i, m in enumerate(self.mask) if m)
+
+
+def greedy_minimize(
+    defect_fn: DefectFn,
+    n_positions: int,
+    tolerance_factor: float = 2.0,
+    order: Optional[Sequence[int]] = None,
+    threshold_slack: float = 1e-4,
+) -> GreedySearchResult:
+    """Greedily drop refresh positions while the defect stays bounded.
+
+    Starts from the all-kept mask, measures the full-refresh floor,
+    then visits positions in ``order`` (default: highest index first,
+    the historical DES order — MUX selects before product terms) and
+    drops each one whose removal keeps ``defect_fn`` within
+    ``floor * tolerance_factor + threshold_slack``.
+
+    This is an *empirical first-order uniformity* criterion — it bounds
+    the distribution of the output shares, which is the property the
+    refresh layer restores; it is not a proof of composable security
+    (neither is the paper's refresh-everything baseline).
+    """
+    if n_positions < 0:
+        raise ValueError("n_positions must be >= 0")
+    mask = [True] * n_positions
+    floor = float(defect_fn(mask, 0))
+    threshold = floor * tolerance_factor + threshold_slack
+    if order is None:
+        order = range(n_positions - 1, -1, -1)
+    for pos in order:
+        mask[pos] = False
+        defect = float(defect_fn(mask, pos + 1))
+        if defect > threshold:
+            mask[pos] = True
+    final = float(defect_fn(mask, FINAL_SALT))
+    return GreedySearchResult(
+        mask=tuple(mask), defect=final, floor=floor, threshold=threshold
+    )

@@ -26,6 +26,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..core.refresh_search import greedy_minimize
 from .bits import int_to_bitarray
 from .masked_core import MaskedSboxModel
 
@@ -123,23 +124,30 @@ def greedy_minimal_refresh(
     Greedy order: MUX select refreshes first (they sit behind another
     secAND2 layer), then product refreshes from the highest monomial.
 
+    The loop itself is the generic
+    :func:`repro.core.refresh_search.greedy_minimize`; this wrapper
+    binds it to the DES :func:`uniformity_defect` with the historical
+    seed schedule (floor at ``seed``, trial for position ``pos`` at
+    ``seed + pos + 1``, confirmation at ``seed + 99``), so results are
+    bit-identical to the original in-module search.
+
     Note: this is an *empirical first-order uniformity* criterion — it
     bounds the distribution of the output shares, which is the property
     the refresh layer restores; it is not a proof of composable
     security (neither is the paper's full refresh).
     """
-    mask = [True] * 14
-    floor = uniformity_defect(sbox, mask, n_per_input, seed)
-    threshold = floor * tolerance_factor + 1e-4
-    order = list(range(13, -1, -1))
-    for pos in order:
-        mask[pos] = False
-        defect = uniformity_defect(sbox, mask, n_per_input, seed + pos + 1)
-        if defect > threshold:
-            mask[pos] = True
-    final = uniformity_defect(sbox, mask, n_per_input, seed + 99)
+    result = greedy_minimize(
+        lambda mask, salt: uniformity_defect(
+            sbox, mask, n_per_input, seed + salt
+        ),
+        n_positions=14,
+        tolerance_factor=tolerance_factor,
+    )
     return RefreshPlan(
-        sbox=sbox, mask=tuple(mask), defect=final, baseline_defect=floor
+        sbox=sbox,
+        mask=result.mask,
+        defect=result.defect,
+        baseline_defect=result.floor,
     )
 
 

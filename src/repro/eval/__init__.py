@@ -15,9 +15,12 @@ fig17   TVLA of the PD engine (coupling)                eval.fig17
 
 plus ``fault_sweep`` (eval.fault_sweep): the delay-variation
 margin-erosion sweep over the fault-injection subsystem — not a paper
-figure, but the robustness question behind Sec. VII-B; and ``bench``
+figure, but the robustness question behind Sec. VII-B; ``bench``
 (eval.bench): the simulator-throughput benchmark that writes
-``BENCH_simulator.json`` (schema ``bench_simulator/v3``).
+``BENCH_simulator.json`` (schema ``bench_simulator/v3``); and
+``compile_costs`` (eval.compile_costs): the masking compiler's
+acceptance sheet — certify all ten paper S-boxes and compare compiled
+vs hand-built DES cost.
 
 Each module exposes ``run(...)`` returning a result object with a
 ``render()`` method; the benchmark harness under ``benchmarks/`` calls
@@ -29,6 +32,7 @@ from typing import Callable, Dict
 
 from . import (
     bench,
+    compile_costs,
     fault_sweep,
     fig14,
     fig15,
@@ -51,11 +55,13 @@ EXPERIMENTS: Dict[str, Callable] = {
     "fig17": fig17.run,
     "fault_sweep": fault_sweep.run,
     "bench": bench.run,
+    "compile_costs": compile_costs.run,
 }
 
 __all__ = [
     "EXPERIMENTS",
     "bench",
+    "compile_costs",
     "fault_sweep",
     "fig14",
     "fig15",

@@ -141,7 +141,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         return 2
 
-    report: dict = {"schema": "verify_cli/v1", "results": []}
+    report: dict = {"schema": "verify_cli/v2", "results": []}
     status = 0
     vcd_written = False
     t0 = time.time()
@@ -189,6 +189,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     if args.vcd and not vcd_written:
         print(f"no leaking probe found; {args.vcd} not written")
+
+    # v2 summary header: lets CI gate on the artifact without digging
+    # through per-preset entries.
+    report["ok"] = status == 0
+    report["n_presets"] = len(names)
+    report["n_matched"] = sum(1 for r in report["results"] if r.get("matched"))
+    report["elapsed_s"] = round(time.time() - t0, 2)
 
     if args.json:
         with open(args.json, "w") as fh:

@@ -1,0 +1,148 @@
+"""Property-based tests of the vertical-counter bitpack helpers.
+
+The packed power engine's exactness claim rests on three properties of
+:func:`repro.sim.bitpack.counter_add` / :func:`counter_unpack` /
+:func:`lanes_to_int`:
+
+* a counter built from arbitrary shifted mask adds unpacks to exactly
+  the per-trace integer totals (ripple-carry correctness);
+* ``lanes_to_int`` keeps trace ``i`` at bit position ``i`` (the numpy
+  lane layout and the big-int layout agree);
+* accumulation is exact at and below ``2**COUNTER_EXACT_BITS`` and the
+  :class:`~repro.sim.power.PackedAccumulatorOverflowWarning` fires
+  exactly when a flushed count *reaches* the bound — never one below.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.bitpack import (
+    COUNTER_EXACT_BITS,
+    LANE_BITS,
+    counter_add,
+    counter_unpack,
+    lanes_to_int,
+    n_lanes,
+    pack_bool,
+)
+from repro.sim.power import PackedAccumulatorOverflowWarning, PowerRecorder
+
+
+# ----------------------------------------------------------------------
+# roundtrip properties
+# ----------------------------------------------------------------------
+@given(
+    st.integers(1, 200).flatmap(
+        lambda n: st.tuples(
+            st.just(n),
+            st.lists(
+                st.tuples(
+                    st.integers(0, (1 << n) - 1),  # toggle mask
+                    st.integers(0, 6),  # weight-bit shift
+                ),
+                min_size=0,
+                max_size=24,
+            ),
+        )
+    )
+)
+@settings(max_examples=80, deadline=None)
+def test_counter_add_unpack_roundtrip(case):
+    """Arbitrary shifted adds unpack to the per-trace integer totals."""
+    n, adds = case
+    planes: list = []
+    expect = np.zeros(n, dtype=np.int64)
+    for mask, shift in adds:
+        counter_add(planes, mask, shift=shift)
+        for i in range(n):
+            expect[i] += ((mask >> i) & 1) << shift
+    got = counter_unpack(planes, n_lanes(n), n)
+    assert np.array_equal(got, expect)
+
+
+@given(st.integers(1, 300))
+@settings(max_examples=60, deadline=None)
+def test_lanes_to_int_bit_layout(n):
+    """Trace ``i``'s boolean lands at bit ``i`` of the big int."""
+    rng = np.random.default_rng(n)
+    bits = rng.integers(0, 2, n).astype(bool)
+    lanes = pack_bool(bits)
+    assert lanes.shape == (n_lanes(n),)
+    as_int = lanes_to_int(lanes)
+    for i in range(n):
+        assert ((as_int >> i) & 1) == int(bits[i])
+    # pad bits above n are zero
+    assert as_int >> (n_lanes(n) * LANE_BITS) == 0
+
+
+@given(st.integers(0, 40), st.integers(1, 65))
+@settings(max_examples=60, deadline=None)
+def test_counter_add_matches_big_int_arithmetic(seed, n):
+    """Summing the planes as ``sum(plane_j << j)`` equals the sum of
+    the shifted masks — the counter is literally column arithmetic."""
+    rng = np.random.default_rng(seed)
+    planes: list = []
+    total = 0
+    for _ in range(12):
+        mask = int(rng.integers(0, 1 << min(n, 62)))
+        shift = int(rng.integers(0, 5))
+        counter_add(planes, mask, shift=shift)
+        total += sum(((mask >> i) & 1) << shift << (70 * i) for i in range(n))
+    recon = 0
+    for i in range(n):
+        c = sum(((plane >> i) & 1) << j for j, plane in enumerate(planes))
+        recon += c << (70 * i)
+    assert recon == total
+
+
+# ----------------------------------------------------------------------
+# overflow warning boundary
+# ----------------------------------------------------------------------
+def _drive_exact(count: int) -> PowerRecorder:
+    """A recorder whose single trace accumulated exactly ``count``."""
+    rec = PowerRecorder(1, 250, bin_ps=250)
+    acc = rec.packed_accumulator(1, 1)
+    assert acc is not None
+    mask = lanes_to_int(np.ones(1, dtype=np.uint64))
+    planes = acc._bins.setdefault(0, [])
+    for j in range(count.bit_length()):
+        if (count >> j) & 1:
+            counter_add(planes, mask, shift=j)
+    return rec
+
+
+def test_no_warning_strictly_below_bound():
+    """2^24 - 1 in a bin: exact, silent."""
+    bound = 1 << COUNTER_EXACT_BITS
+    rec = _drive_exact(bound - 1)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", PackedAccumulatorOverflowWarning)
+        power = rec.power
+    assert power[0, 0] == float(bound - 1)
+    assert rec.stats["overflow_bins"] == 0
+
+
+def test_warning_fires_exactly_at_bound():
+    """2^24 in a bin: one PackedAccumulatorOverflowWarning, correctly
+    rounded value either way."""
+    bound = 1 << COUNTER_EXACT_BITS
+    rec = _drive_exact(bound)
+    with pytest.warns(PackedAccumulatorOverflowWarning):
+        power = rec.power
+    assert power[0, 0] == float(bound)
+    assert rec.stats["overflow_bins"] == 1
+
+
+@given(st.integers(1, 1 << 10))
+@settings(max_examples=40, deadline=None)
+def test_small_counts_never_warn(count):
+    """No count below the bound ever trips the warning."""
+    rec = _drive_exact(count)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", PackedAccumulatorOverflowWarning)
+        power = rec.power
+    assert power[0, 0] == float(count)

@@ -1,0 +1,144 @@
+"""Certification pipeline + compile CLI.
+
+End-to-end certificates for the DES target (criterion c), the
+arrival-class site argument, whole-netlist exact mode on a
+single-gadget compile, JSON artifacts, and CLI exit codes.
+"""
+
+import json
+
+import pytest
+
+from repro.compile import (
+    certify_netlist,
+    compile_spec,
+    des_sbox_spec,
+    site_classes,
+    site_spec_for_arrivals,
+)
+from repro.compile.cli import main as compile_main
+from repro.verify.report import verify
+
+
+@pytest.fixture(scope="module")
+def des_cert():
+    return compile_spec(des_sbox_spec(0), style="pd", refresh="full").certify()
+
+
+# ----------------------------------------------------------------------
+# certificates
+# ----------------------------------------------------------------------
+def test_des_pd_full_refresh_certifies(des_cert):
+    assert des_cert.functional["ok"]
+    assert des_cert.static["ok"]
+    assert des_cert.exact_ok
+    assert des_cert.ok
+    assert des_cert.counterexample is None
+    # every arrival class was actually verified
+    assert des_cert.sites and all(s.secure for s in des_cert.sites)
+
+
+def test_des_pd_selective_refresh_certifies():
+    result = compile_spec(
+        des_sbox_spec(0), style="pd", refresh="selective",
+        refresh_n_per_input=400,
+    )
+    cert = result.certify()
+    assert cert.ok
+    assert result.netlist.fresh_bits < 14  # strictly fewer fresh bits
+
+
+def test_des_ff_certifies_via_gadget_and_layering():
+    cert = compile_spec(des_sbox_spec(0), style="ff").certify()
+    assert cert.ok
+    assert cert.gadget_ff and cert.gadget_ff["secure"]
+    assert cert.layering["ok"]
+
+
+def test_site_classes_cover_all_gadgets():
+    net = compile_spec(des_sbox_spec(0), style="pd").netlist
+    classes = site_classes(net)
+    assert sum(len(s.tags) for s in classes) == net.n_secand2 == 30
+    # grouping compresses: far fewer verifier runs than gadgets
+    assert len(classes) < 30
+
+
+def test_site_spec_ordering_decides_security():
+    # y1 strictly last -> exactly secure
+    ordered = site_spec_for_arrivals((0, 0, 0, 400), name="ok_site")
+    assert verify(ordered).secure
+    # y1 early -> the Eq. 2 recombination leaks
+    leaky = site_spec_for_arrivals((400, 400, 400, 0), name="bad_site")
+    assert not verify(leaky).secure
+
+
+def test_whole_mode_passes_single_gadget_compile():
+    # one product, one secand2: the entire netlist fits the exact
+    # verifier and is secure even without the compositional argument
+    cert = compile_spec([0, 0, 0, 1], style="pd").certify(exact="whole")
+    assert cert.whole and cert.whole["secure"]
+    assert cert.ok
+
+
+def test_optional_checks_recorded_in_certificate():
+    cert = compile_spec([0, 0, 0, 1], style="pd").certify(
+        uniformity_n=300, tvla_traces=400
+    )
+    assert cert.uniformity["checked"] and cert.uniformity["ok"]
+    assert cert.tvla["checked"] and not cert.tvla["detected"]
+
+
+def test_certificate_json_schema(des_cert):
+    d = des_cert.to_json_dict()
+    assert d["schema"] == "compile_certificate/v1"
+    for key in ("name", "style", "ok", "functional", "static", "cost"):
+        assert key in d
+    json.dumps(d)  # fully serialisable
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def test_cli_smoke_json_report(tmp_path, capsys):
+    out = tmp_path / "compile.json"
+    status = compile_main(["--des-sbox", "0", "--json", str(out)])
+    capsys.readouterr()
+    assert status == 0
+    report = json.loads(out.read_text())
+    assert report["schema"] == "compile_cli/v1"
+    assert report["ok"] is True
+    assert report["n_targets"] == report["n_certified"] == 1
+    assert report["results"][0]["certificate"]["ok"] is True
+
+
+def test_cli_rejection_exit_code(tmp_path, capsys):
+    status = compile_main(
+        ["--des-sbox", "0", "--n-luts", "1", "--margin", "400",
+         "--json", str(tmp_path / "reject.json")]
+    )
+    capsys.readouterr()
+    assert status == 1
+    report = json.loads((tmp_path / "reject.json").read_text())
+    assert report["ok"] is False
+    assert report["results"][0]["error"] == "schedule"
+
+
+def test_cli_usage_error_exit_code(capsys):
+    # no target selected -> usage error
+    assert compile_main([]) == 2
+    # argparse rejects bad choices with its conventional exit code
+    with pytest.raises(SystemExit) as exc_info:
+        compile_main(["--style", "nonsense"])
+    assert exc_info.value.code == 2
+    capsys.readouterr()
+
+
+def test_main_module_dispatches_compile(tmp_path, capsys):
+    from repro.__main__ import main as repro_main
+
+    status = repro_main(
+        ["compile", "--present-sbox", "--json", str(tmp_path / "p.json")]
+    )
+    capsys.readouterr()
+    assert status == 0
+    assert json.loads((tmp_path / "p.json").read_text())["ok"] is True

@@ -1,0 +1,198 @@
+"""Front half of the masking compiler: specs, lowering, golden model."""
+
+import numpy as np
+import pytest
+
+from repro.compile import (
+    CompileError,
+    FunctionSpec,
+    PlanModel,
+    aes_sbox_spec,
+    des_sbox_spec,
+    lower,
+    plan_refresh,
+    present_sbox_spec,
+)
+from repro.compile.refresh import refresh_positions, static_required
+from repro.compile.spec import anf_to_table, mobius_transform
+from repro.des.reference import sbox_lookup
+from repro.des.sbox_anf import ALL_MONOMIALS
+
+
+# ----------------------------------------------------------------------
+# specs
+# ----------------------------------------------------------------------
+def test_mobius_transform_is_an_involution():
+    rng = np.random.default_rng(0)
+    for n in (1, 2, 3, 4, 6):
+        table = [int(v) for v in rng.integers(0, 2, 1 << n)]
+        anf = mobius_transform(list(table), n)
+        assert mobius_transform(list(anf), n) == tuple(table)
+        monomials = [mask for mask, c in enumerate(anf) if c and mask]
+        assert anf_to_table(monomials, n, constant=anf[0]) == tuple(table)
+
+
+def test_truth_table_and_anf_agree():
+    # f(a, b) = a AND b: single monomial over both variables
+    spec_tt = FunctionSpec.from_truth_table([0, 0, 0, 1], name="and2")
+    spec_anf = FunctionSpec.from_anf([[0b11]], n_inputs=2, name="and2")
+    assert spec_tt.table == spec_anf.table
+    assert spec_tt.degree() == 2
+
+
+def test_from_circuit_roundtrip():
+    from repro.netlist.circuit import Circuit
+
+    c = Circuit("xor_and")
+    a, b = c.add_inputs("a", "b")
+    c.mark_output("o", c.xor2(c.and2(a, b), b))
+    spec = FunctionSpec.from_circuit(c)
+    # o = ab ^ b; index bit conventions: a is the high index bit
+    assert spec.table == tuple((v & 1) ^ ((v >> 1) & (v & 1)) for v in range(4))
+
+
+def test_des_sbox_spec_matches_reference():
+    spec = des_sbox_spec(3)
+    for v in range(64):
+        assert spec.table[v] == sbox_lookup(3, v)
+    assert spec.preferred_select_vars == (0, 5)
+
+
+def test_spec_validation_errors():
+    # spec-layer validation raises plain ValueError (CompileError is the
+    # lowering pass's vocabulary)
+    with pytest.raises(ValueError):
+        FunctionSpec.from_truth_table([0, 1, 2])  # not a power of two
+    with pytest.raises(ValueError):
+        # entry out of range for the declared output width
+        FunctionSpec.from_truth_table([0, 1, 4, 0], n_outputs=2)
+
+
+# ----------------------------------------------------------------------
+# lowering
+# ----------------------------------------------------------------------
+def test_des_lowering_matches_hand_built_shape():
+    plan = lower(des_sbox_spec(0))
+    assert plan.select_vars == (0, 5)
+    assert plan.inner_vars == (1, 2, 3, 4)
+    # all_products over 4 inner vars = the hand-built monomial ladder
+    assert plan.monomials == ALL_MONOMIALS
+    assert plan.n_rows == 4
+    # 10 products + 4 select minterms + 16 stage-2 gadgets
+    assert plan.n_secand2() == 30
+
+
+def test_row_cofactors_recombine_to_table():
+    spec = des_sbox_spec(1)
+    plan = lower(spec)
+    for v in range(64):
+        row = 2 * ((v >> 5) & 1) + (v & 1)  # classic DES row convention
+        inner = (v >> 1) & 0xF
+        rp = plan.rows[row]
+        out = 0
+        for b in range(4):
+            bit = rp.constants[b]
+            for p in rp.linear[b]:
+                bit ^= (inner >> (3 - p)) & 1
+            for mask in rp.products[b]:
+                term = 1
+                for p in plan.mask_positions(mask):
+                    term &= (inner >> (3 - p)) & 1
+                bit ^= term
+            out = (out << 1) | bit
+        assert out == spec.table[v]
+
+
+def test_chain_prefix_closure():
+    for name, spec in [("present", present_sbox_spec()), ("aes", aes_sbox_spec())]:
+        plan = lower(spec)
+        mono = set(plan.monomials)
+        for mask in plan.monomials:
+            if plan.chain_length(mask) >= 2:
+                prefix, _ = plan.factor(mask)
+                assert prefix in mono, f"{name}: {mask:#x} missing prefix"
+
+
+def test_constant_output_rejected():
+    with pytest.raises(CompileError, match="constant"):
+        lower(FunctionSpec.from_truth_table([0, 0, 0, 0], name="zero"))
+    with pytest.raises(CompileError, match="constant"):
+        lower(FunctionSpec.from_truth_table([1, 1, 1, 1], name="one"))
+
+
+def test_select_var_errors():
+    spec = des_sbox_spec(0)
+    with pytest.raises(CompileError):
+        lower(spec, select_vars=(0, 0))
+    with pytest.raises(CompileError):
+        lower(spec, select_vars=(9,))
+    with pytest.raises(CompileError):
+        lower(spec, select_vars=(0,))  # leaves 5 inner vars > 4
+
+
+# ----------------------------------------------------------------------
+# golden model: every paper target recombines
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "spec",
+    [des_sbox_spec(i) for i in range(8)]
+    + [present_sbox_spec(), aes_sbox_spec()],
+    ids=[f"des{i}" for i in range(8)] + ["present", "aes"],
+)
+def test_model_functional_all_paper_targets(spec):
+    plan = lower(spec)
+    assert PlanModel(plan).check_functional(seed=3)
+
+
+def test_model_functional_random_tables():
+    rng = np.random.default_rng(11)
+    for trial in range(4):
+        n = int(rng.integers(2, 7))
+        table = [int(v) for v in rng.integers(0, 4, 1 << n)]
+        if len({*table}) == 1:
+            table[0] ^= 1
+        # avoid constant output bits (rejected by design)
+        try:
+            plan = lower(FunctionSpec.from_truth_table(table, name=f"rnd{trial}"))
+        except CompileError:
+            continue
+        assert PlanModel(plan).check_functional(seed=trial)
+
+
+# ----------------------------------------------------------------------
+# refresh pass
+# ----------------------------------------------------------------------
+def test_refresh_positions_match_hand_built_layout():
+    plan = lower(des_sbox_spec(0))
+    labels = [p.label for p in refresh_positions(plan)]
+    assert len(labels) == 14  # r0..r9 products, r10..r13 selects
+    assert labels[10:] == ["sel_0", "sel_1", "sel_2", "sel_3"]
+    assert all(lbl.startswith("prod_") for lbl in labels[:10])
+
+
+def test_static_rule_keeps_all_des_positions():
+    # every DES product feeds two or more planes -> all kept
+    plan = lower(des_sbox_spec(0))
+    assert all(static_required(plan))
+
+
+def test_static_rule_drops_maskable_product():
+    # f = ab ^ c: the product shares its plane with a disjoint linear
+    # term whose random share masks the sum -> refresh not required.
+    spec = FunctionSpec.from_anf([[0b110, 0b001]], n_inputs=3, name="ab_xor_c")
+    plan = lower(spec)
+    assert static_required(plan) == (False,)
+
+
+def test_selective_refresh_uses_strictly_fewer_bits():
+    plan = lower(des_sbox_spec(0))
+    choice = plan_refresh(plan, mode="selective", n_per_input=400, seed=0)
+    assert choice.bits_used < choice.bits_full == 14
+    full = plan_refresh(plan, mode="full")
+    assert full.bits_used == 14
+
+
+def test_refresh_mode_validation():
+    plan = lower(present_sbox_spec())
+    with pytest.raises(CompileError):
+        plan_refresh(plan, mode="sometimes")

@@ -15,7 +15,7 @@ from repro.eval.report import render_table, rule, sparkline, tvla_panel
 def test_registry_covers_every_table_and_figure():
     assert set(EXPERIMENTS) == {
         "table1", "table2", "table3", "fig13", "fig14", "fig15", "fig16",
-        "fig17", "fault_sweep", "bench",
+        "fig17", "fault_sweep", "bench", "compile_costs",
     }
 
 
@@ -86,3 +86,15 @@ def test_tvla_panel_marks_leaks():
 
 def test_rule_width():
     assert len(rule(10)) == 10
+
+
+@pytest.mark.slow
+def test_compile_costs_all_targets_certify_and_match_hand_built():
+    from repro.eval import compile_costs
+
+    res = compile_costs.run()
+    assert len(res.rows) == 10
+    assert res.all_certified
+    assert res.des_within_25pct
+    out = res.render()
+    assert "des_sbox0" in out and "aes_sbox" in out and "within 25%: yes" in out

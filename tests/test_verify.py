@@ -254,7 +254,11 @@ def test_cli_smoke(tmp_path, capsys):
     )
     assert rc == 0
     data = json.loads(report.read_text())
-    assert data["schema"] == "verify_cli/v1"
+    assert data["schema"] == "verify_cli/v2"
+    assert data["ok"] is True
+    assert data["n_presets"] == 2
+    assert data["n_matched"] == 2
+    assert data["elapsed_s"] >= 0
     assert [r["matched"] for r in data["results"]] == [True, True]
     assert "$timescale" in vcd.read_text()
     out = capsys.readouterr().out
