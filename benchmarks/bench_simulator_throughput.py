@@ -10,10 +10,11 @@ Three kinds of benches live here:
   :mod:`repro.eval.bench` (the same code ``python -m repro bench``
   runs) so CI and the CLI publish identical numbers;
 * a machine-readable summary: the module writes ``BENCH_simulator.json``
-  at the repo root (schema ``bench_simulator/v4``, see
+  at the repo root (schema ``bench_simulator/v5``, see
   ``repro.eval.bench``) with the comparison timings, speedups, the
-  campaign's :class:`~repro.leakage.stats.CampaignStats` and the packed
-  leg's counter-plane telemetry.
+  campaign's :class:`~repro.leakage.stats.CampaignStats`, the packed
+  leg's counter-plane telemetry and the :mod:`repro.obs` span-tracing
+  overhead ratio (the ``obs`` section, gated at <= 5%).
 """
 
 import os
@@ -116,7 +117,10 @@ def test_bench_campaign_packed_vs_boolean():
     source = DESTraceSource(
         engine, 0x0123456789ABCDEF, 0x133457799BBCDFF1, prng_enabled=True
     )
-    cfg = CampaignConfig(n_traces=512, batch_size=512, noise_sigma=1.0, seed=0)
+    cfg = CampaignConfig(
+        n_traces=512, batch_size=512, noise_sigma=1.0, seed=0,
+        label="bench.campaign_packed",
+    )
     campaign = bench.campaign_packed_comparison(
         source,
         cfg,
@@ -179,7 +183,8 @@ def test_bench_campaign_serial_vs_parallel():
         engine, 0x0123456789ABCDEF, 0x133457799BBCDFF1, prng_enabled=True
     )
     cfg = CampaignConfig(
-        n_traces=500, batch_size=125, noise_sigma=1.0, seed=0
+        n_traces=500, batch_size=125, noise_sigma=1.0, seed=0,
+        label="bench.campaign",
     )
 
     ctx = (
@@ -218,6 +223,50 @@ def _no_warning_context():
     import contextlib
 
     return contextlib.nullcontext()
+
+
+# ----------------------------------------------------------------------
+# span-tracing overhead
+# ----------------------------------------------------------------------
+def test_bench_obs_overhead():
+    """Tracing a packed campaign must cost <= 5% and change no bits.
+
+    Same lane-aligned masked-DES workload as the packed bench, run
+    twice per rep — :mod:`repro.obs` tracing disabled vs enabled —
+    with alternating blocks so host-speed drift cancels.  Hard
+    requirements: the traced leg's t-statistics are bitwise equal to
+    the untraced leg's, the trace is non-empty, and the median
+    overhead ratio stays under the 5% budget the observability layer
+    promises for hot paths.
+    """
+    engine = MaskedDESNetlistEngine("ff")
+    source = DESTraceSource(
+        engine, 0x0123456789ABCDEF, 0x133457799BBCDFF1, prng_enabled=True
+    )
+    cfg = CampaignConfig(
+        n_traces=512, batch_size=512, noise_sigma=1.0, seed=0,
+        pack_traces=True, label="bench.obs",
+    )
+    obs = bench.obs_overhead_comparison(
+        source,
+        cfg,
+        source_label="DESTraceSource (masked DES netlist, ff variant)",
+    )
+    RESULTS["obs"] = obs
+    print(
+        f"\nobs: untraced {obs['untraced_s']:.3f} s  "
+        f"traced {obs['traced_s']:.3f} s  "
+        f"overhead {obs['overhead'] * 100:+.1f}%  "
+        f"bitwise={obs['bitwise_equal']}  "
+        f"spans={obs['n_spans']}  coverage={obs['coverage']:.0%}"
+    )
+    assert obs["bitwise_equal"]
+    assert obs["n_spans"] > 0
+    assert obs["overhead"] <= 0.05, (
+        f"span-tracing overhead {obs['overhead'] * 100:+.1f}% > 5% on the "
+        "packed campaign path — the zero-cost-when-idle contract of "
+        "repro.obs no longer holds in the hot loop"
+    )
 
 
 # ----------------------------------------------------------------------

@@ -28,10 +28,39 @@ Package map
     Exact glitch-extended probing verification: enumerate all input
     assignments, tabulate every wire's transient distribution, decide
     first-order security with an integer independence test.
+``repro.obs``
+    Zero-dependency observability: span tracer with cross-process
+    propagation, metrics registry backing the campaign counters,
+    JSONL/Chrome trace exporters, ``python -m repro obs`` CLI.
 """
 
-from . import aes, attacks, core, des, eval, leakage, netlist, present, sim, verify
+from . import (
+    aes,
+    attacks,
+    core,
+    des,
+    eval,
+    leakage,
+    netlist,
+    obs,
+    present,
+    sim,
+    verify,
+)
 
 __version__ = "1.0.0"
 
-__all__ = ["aes", "attacks", "core", "des", "eval", "leakage", "netlist", "present", "sim", "verify", "__version__"]
+__all__ = [
+    "aes",
+    "attacks",
+    "core",
+    "des",
+    "eval",
+    "leakage",
+    "netlist",
+    "obs",
+    "present",
+    "sim",
+    "verify",
+    "__version__",
+]

@@ -11,10 +11,12 @@ Examples::
     python -m repro verify --preset secand2_pd
     python -m repro compile --des-sbox 0
     python -m repro chaos --mode corrupt_checkpoint
+    python -m repro obs record --out trace.jsonl
 
-``verify``, ``compile`` and ``chaos`` are subcommands with their own
-flags (:mod:`repro.verify.cli`, :mod:`repro.compile.cli`,
-:mod:`repro.chaos.cli`); everything else is an experiment id.
+``verify``, ``compile``, ``chaos`` and ``obs`` are subcommands with
+their own flags (:mod:`repro.verify.cli`, :mod:`repro.compile.cli`,
+:mod:`repro.chaos.cli`, :mod:`repro.obs.cli`); everything else is an
+experiment id.
 """
 
 from __future__ import annotations
@@ -60,6 +62,10 @@ def main(argv=None) -> int:
         from .chaos.cli import main as chaos_main
 
         return chaos_main(argv[1:])
+    if argv and argv[0] == "obs":
+        from .obs.cli import main as obs_main
+
+        return obs_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro", description=__doc__
@@ -76,6 +82,7 @@ def main(argv=None) -> int:
         print("  verify  (subcommand: python -m repro verify --help)")
         print("  compile (subcommand: python -m repro compile --help)")
         print("  chaos   (subcommand: python -m repro chaos --help)")
+        print("  obs     (subcommand: python -m repro obs --help)")
         return 0
 
     for name in args.experiments:

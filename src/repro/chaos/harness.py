@@ -32,6 +32,8 @@ import numpy as np
 
 from ..leakage.acquisition import CampaignConfig, run_campaign
 from ..leakage.supervisor import CampaignInterrupted, run_campaign_supervised
+from ..obs.log import get_logger
+from ..obs.trace import trace
 from ..leakage.transport import (
     scavenge_orphans,
     set_chaos_hook,
@@ -46,6 +48,8 @@ __all__ = [
     "run_chaos_scenario",
     "run_chaos_matrix",
 ]
+
+_LOG = get_logger("chaos")
 
 
 class SynthSource:
@@ -196,7 +200,8 @@ def run_chaos_scenario(
     t0 = time.perf_counter()
     result = None
     structured: Optional[str] = None
-    with tempfile.TemporaryDirectory(prefix=f"chaos-{mode}-") as workdir:
+    with trace("chaos.scenario", mode=mode, seed=seed), \
+            tempfile.TemporaryDirectory(prefix=f"chaos-{mode}-") as workdir:
         policy = ChaosPolicy(mode=mode, seed=seed, workdir=workdir)
         checkpoint = os.path.join(workdir, "campaign.npz")
         source = ChaosSource(SynthSource(), policy)
@@ -247,26 +252,34 @@ def run_chaos_scenario(
 
     seconds = time.perf_counter() - t0
     if result is None:
-        return ScenarioResult(
+        outcome = ScenarioResult(
             mode=mode, seed=seed, injected=injected, recovered=False,
             bitwise=False, structured_error=structured,
             orphaned_segments=orphans, seconds=seconds,
         )
-    bitwise = bool(
-        np.array_equal(result.t1, reference.t1)
-        and np.array_equal(result.t2, reference.t2)
-        and np.array_equal(result.t3, reference.t3)
+    else:
+        bitwise = bool(
+            np.array_equal(result.t1, reference.t1)
+            and np.array_equal(result.t2, reference.t2)
+            and np.array_equal(result.t3, reference.t3)
+        )
+        outcome = ScenarioResult(
+            mode=mode,
+            seed=seed,
+            injected=injected,
+            recovered=True,
+            bitwise=bitwise,
+            orphaned_segments=orphans,
+            stats=result.stats.robustness_events(),
+            seconds=seconds,
+        )
+    _LOG.info(
+        "chaos scenario %s seed=%d: injected=%s recovered=%s bitwise=%s "
+        "(%.2fs)",
+        mode, seed, outcome.injected, outcome.recovered, outcome.bitwise,
+        seconds,
     )
-    return ScenarioResult(
-        mode=mode,
-        seed=seed,
-        injected=injected,
-        recovered=True,
-        bitwise=bitwise,
-        orphaned_segments=orphans,
-        stats=result.stats.robustness_events(),
-        seconds=seconds,
-    )
+    return outcome
 
 
 def run_chaos_matrix(

@@ -32,6 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence, Union
 
+from ..obs.trace import trace
 from .certify import (
     Certificate,
     CostReport,
@@ -217,28 +218,31 @@ def compile_spec(
     if style not in ("pd", "ff"):
         raise CompileError(f'style must be "pd" or "ff", got {style!r}')
 
-    plan = lower(spec, select_vars=select_vars, all_products=all_products)
-    choice = plan_refresh(
-        plan,
-        mode=refresh,
-        n_per_input=refresh_n_per_input,
-        seed=seed,
-    )
+    with trace("compile.lower", spec=spec.name, style=style):
+        plan = lower(spec, select_vars=select_vars, all_products=all_products)
+    with trace("compile.refresh", mode=refresh):
+        choice = plan_refresh(
+            plan,
+            mode=refresh,
+            n_per_input=refresh_n_per_input,
+            seed=seed,
+        )
 
     if style == "ff":
-        netlist = emit_ff(plan, choice, secand2_style=secand2_style)
+        with trace("compile.emit", style="ff"):
+            netlist = emit_ff(plan, choice, secand2_style=secand2_style)
         return CompileResult(netlist=netlist, margin_ps=margin_ps)
 
     if n_luts is None:
-        solved, _ = solve_pd_n_luts(
-            plan, choice, margin_ps, secand2_style=secand2_style
-        )
-        netlist = emit_pd(
-            plan,
-            choice,
-            pd_schedule(plan, solved, margin_ps),
-            secand2_style=secand2_style,
-        )
+        with trace("compile.schedule", margin_ps=margin_ps):
+            solved, _ = solve_pd_n_luts(
+                plan, choice, margin_ps, secand2_style=secand2_style
+            )
+            schedule = pd_schedule(plan, solved, margin_ps)
+        with trace("compile.emit", style="pd"):
+            netlist = emit_pd(
+                plan, choice, schedule, secand2_style=secand2_style
+            )
         return CompileResult(
             netlist=netlist,
             margin_ps=margin_ps,
@@ -246,11 +250,9 @@ def compile_spec(
             n_luts_solved=True,
         )
 
-    netlist = emit_pd(
-        plan,
-        choice,
-        pd_schedule(plan, int(n_luts), margin_ps),
-        secand2_style=secand2_style,
-    )
+    with trace("compile.schedule", margin_ps=margin_ps, n_luts=int(n_luts)):
+        schedule = pd_schedule(plan, int(n_luts), margin_ps)
+    with trace("compile.emit", style="pd"):
+        netlist = emit_pd(plan, choice, schedule, secand2_style=secand2_style)
     _reject_unschedulable(netlist, plan, choice, margin_ps, n_luts, secand2_style)
     return CompileResult(netlist=netlist, margin_ps=margin_ps, n_luts=int(n_luts))

@@ -48,6 +48,7 @@ from ..netlist import timing as timing_mod
 from ..netlist.circuit import Circuit
 from ..netlist.safety import check_secand2_ordering, ordering_margins
 from ..netlist.timing import arrival_times
+from ..obs.trace import trace
 from ..verify.probes import MAX_INPUT_BITS, GadgetSpec
 from ..verify.report import LeakingProbe, VerificationResult, verify
 from .emit import CompiledNetlist
@@ -548,63 +549,75 @@ def certify_netlist(
     if exact not in EXACT_MODES:
         raise CompileError(f"exact mode must be one of {EXACT_MODES}, got {exact!r}")
 
+    with trace("certify.functional", spec=netlist.plan.spec.name):
+        functional = _check_functional(netlist, n_sharings, seed)
+    with trace("certify.static"):
+        static = (
+            _check_static(netlist, margin_ps)
+            if netlist.style == "pd"
+            else None
+        )
+        layering = _ff_layering(netlist) if netlist.style == "ff" else None
     cert = Certificate(
         name=netlist.plan.spec.name,
         style=netlist.style,
         margin_ps=margin_ps,
-        functional=_check_functional(netlist, n_sharings, seed),
-        static=_check_static(netlist, margin_ps) if netlist.style == "pd" else None,
-        layering=_ff_layering(netlist) if netlist.style == "ff" else None,
+        functional=functional,
+        static=static,
+        layering=layering,
         exact_mode=exact,
         cost=CostReport.from_netlist(netlist),
     )
 
-    if exact == "sites" and netlist.style == "ff":
-        # one cycle-accurate gadget proof covers every site: the
-        # layering DP shows each in-netlist y1 is a registered value
-        # landing strictly after the other operands, which is exactly
-        # the configuration the canonical preset verifies.
-        from ..verify.presets import preset_spec
+    with trace("certify.exact", mode=exact):
+        if exact == "sites" and netlist.style == "ff":
+            # one cycle-accurate gadget proof covers every site: the
+            # layering DP shows each in-netlist y1 is a registered value
+            # landing strictly after the other operands, which is exactly
+            # the configuration the canonical preset verifies.
+            from ..verify.presets import preset_spec
 
-        result = verify(preset_spec("secand2_ff"))
-        cert.gadget_ff = {
-            "secure": result.secure,
-            "n_probes": result.n_probes,
-            "elapsed_s": result.elapsed_s,
-        }
-    elif exact == "sites":
-        cert.sites = site_classes(netlist)
-        for site in cert.sites:
-            spec = site_spec_for_arrivals(
-                site.arrivals,
-                name=f"{cert.name}_{cert.style}_site_{site.tags[0]}",
-            )
-            site.result = verify(spec)
-            if not site.result.secure and cert.counterexample is None:
-                cert.counterexample = site.result.leaks[0]
+            result = verify(preset_spec("secand2_ff"))
+            cert.gadget_ff = {
+                "secure": result.secure,
+                "n_probes": result.n_probes,
+                "elapsed_s": result.elapsed_s,
+            }
+        elif exact == "sites":
+            cert.sites = site_classes(netlist)
+            for site in cert.sites:
+                spec = site_spec_for_arrivals(
+                    site.arrivals,
+                    name=f"{cert.name}_{cert.style}_site_{site.tags[0]}",
+                )
+                site.result = verify(spec)
+                if not site.result.secure and cert.counterexample is None:
+                    cert.counterexample = site.result.leaks[0]
+                    cert.counterexample_spec = spec
+        elif exact == "whole":
+            spec = netlist.gadget_spec()
+            if spec.n_input_bits > MAX_INPUT_BITS:
+                raise CompileError(
+                    f"{cert.name}: {spec.n_input_bits} input bits exceed the "
+                    f"exact verifier's {MAX_INPUT_BITS}-bit budget; use "
+                    'exact="sites"'
+                )
+            result = verify(spec)
+            cert.whole = {
+                "secure": result.secure,
+                "n_probes": result.n_probes,
+                "n_leaking": result.n_leaking,
+                "n_assignments": result.n_assignments,
+                "elapsed_s": result.elapsed_s,
+            }
+            if not result.secure:
+                cert.counterexample = result.leaks[0]
                 cert.counterexample_spec = spec
-    elif exact == "whole":
-        spec = netlist.gadget_spec()
-        if spec.n_input_bits > MAX_INPUT_BITS:
-            raise CompileError(
-                f"{cert.name}: {spec.n_input_bits} input bits exceed the "
-                f"exact verifier's {MAX_INPUT_BITS}-bit budget; use "
-                'exact="sites"'
-            )
-        result = verify(spec)
-        cert.whole = {
-            "secure": result.secure,
-            "n_probes": result.n_probes,
-            "n_leaking": result.n_leaking,
-            "n_assignments": result.n_assignments,
-            "elapsed_s": result.elapsed_s,
-        }
-        if not result.secure:
-            cert.counterexample = result.leaks[0]
-            cert.counterexample_spec = spec
 
     if uniformity_n > 0:
-        cert.uniformity = _check_uniformity(netlist, uniformity_n, seed)
+        with trace("certify.uniformity", n=uniformity_n):
+            cert.uniformity = _check_uniformity(netlist, uniformity_n, seed)
     if tvla_traces > 0:
-        cert.tvla = _check_tvla(netlist, tvla_traces, seed)
+        with trace("certify.tvla", n_traces=tvla_traces):
+            cert.tvla = _check_tvla(netlist, tvla_traces, seed)
     return cert

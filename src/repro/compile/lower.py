@@ -31,6 +31,7 @@ from dataclasses import dataclass
 from itertools import combinations
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..obs.trace import trace
 from .spec import FunctionSpec, mobius_transform
 
 __all__ = ["CompileError", "RowPlan", "LoweredPlan", "lower"]
@@ -245,15 +246,16 @@ def lower(
         )
     k = len(select_vars)
 
-    rows = tuple(
-        _row_plan(
-            spec,
-            n_inner,
-            r,
-            _cofactor_table(spec, select_vars, inner_vars, r),
+    with trace("compile.anf", spec=spec.name, n_rows=1 << k):
+        rows = tuple(
+            _row_plan(
+                spec,
+                n_inner,
+                r,
+                _cofactor_table(spec, select_vars, inner_vars, r),
+            )
+            for r in range(1 << k)
         )
-        for r in range(1 << k)
-    )
 
     # every output bit must have at least one contributing term in some
     # row — a constant output has no masked representation here.

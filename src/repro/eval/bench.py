@@ -1,4 +1,4 @@
-"""Simulator throughput benchmark — ``BENCH_simulator.json`` schema v4.
+"""Simulator throughput benchmark — ``BENCH_simulator.json`` schema v5.
 
 Four head-to-head comparisons over the simulation substrate:
 
@@ -50,6 +50,13 @@ multiples of 64): the v3 section reused the parallel campaign's
 125-trace batches, two ragged lanes per batch, which is exactly the
 geometry packing cannot win (the seed's recorded 0.98x).
 
+``v5`` adds the ``obs`` section — traced vs untraced packed campaign
+(:mod:`repro.obs`), bitwise-equal t-statistics required, publishing
+the span-tracing overhead ratio — and gives every campaign leg a
+descriptive label (``bench.campaign.serial``,
+``bench.campaign_packed.boolean``, ...) instead of the empty/shared
+labels the v4 stats embedded.
+
 The pytest benches under ``benchmarks/`` call the same comparison
 functions with CI budgets and write the same JSON; ``python -m repro
 bench [--quick]`` runs them standalone.
@@ -88,13 +95,14 @@ __all__ = [
     "settle_packed_comparison",
     "campaign_comparison",
     "campaign_packed_comparison",
+    "obs_overhead_comparison",
     "assemble_payload",
     "write_json",
     "BenchResult",
     "run",
 ]
 
-SCHEMA = "bench_simulator/v4"
+SCHEMA = "bench_simulator/v5"
 
 
 def _cpu_count() -> int:
@@ -306,9 +314,20 @@ def campaign_comparison(
     to the serial ones.  Callers must skip this comparison on
     single-CPU hosts (see :func:`run`): there the parallel leg can only
     measure pool overhead, never parallelism.
+
+    Each leg gets a descriptive stats label
+    (``<config.label>.serial`` / ``.parallel``) so the embedded
+    ``CampaignStats`` say which leg they describe.
     """
-    serial = run_campaign(source, config, n_workers=1)
-    parallel = run_campaign(source, config, n_workers=n_workers)
+    base = config.label or "bench.campaign"
+    serial = run_campaign(
+        source, dc_replace(config, label=f"{base}.serial"), n_workers=1
+    )
+    parallel = run_campaign(
+        source,
+        dc_replace(config, label=f"{base}.parallel"),
+        n_workers=n_workers,
+    )
     bitwise = bool(
         np.array_equal(serial.t1, parallel.t1)
         and np.array_equal(serial.t2, parallel.t2)
@@ -356,8 +375,9 @@ def campaign_packed_comparison(
     same counters).
     """
     reset_packed_accumulator_counters()
-    cfg_bool = dc_replace(config, pack_traces=False)
-    cfg_packed = dc_replace(config, pack_traces=True)
+    base = config.label or "bench.campaign_packed"
+    cfg_bool = dc_replace(config, pack_traces=False, label=f"{base}.boolean")
+    cfg_packed = dc_replace(config, pack_traces=True, label=f"{base}.packed")
     latest: Dict[str, object] = {}
 
     def run_bool():
@@ -396,8 +416,81 @@ def campaign_packed_comparison(
     }
 
 
+def obs_overhead_comparison(
+    source,
+    config: CampaignConfig,
+    source_label: str = "",
+    reps: int = 1,
+    rounds: int = 3,
+) -> Dict[str, object]:
+    """Untraced vs traced serial campaign over one source/config.
+
+    Runs the identical campaign with :mod:`repro.obs` span tracing off
+    and on (a fresh tracer per repetition so the ring never wraps) and
+    demands bitwise-equal t-statistics — tracing must *observe* the
+    campaign, never perturb it.  Timed via :func:`alternating_blocks`
+    like the other campaign sections; the published ``overhead`` is
+    the median per-round ``traced / untraced`` wall-time ratio minus
+    one.  The v5 gate is <= 5%: spans fire per batch/phase, never per
+    event, so the disabled-path and enabled-path costs are both far
+    below the simulation work they wrap.
+    """
+    from ..obs.summary import coverage
+    from ..obs.trace import disable_tracing, enable_tracing, get_tracer
+
+    base = config.label or "bench.obs"
+    cfg_off = dc_replace(config, label=f"{base}.untraced")
+    cfg_on = dc_replace(config, label=f"{base}.traced")
+    latest: Dict[str, object] = {}
+    observed = {"spans": []}
+
+    def prep_off():
+        disable_tracing()
+
+    def run_off():
+        latest["untraced"] = run_campaign(source, cfg_off, n_workers=1)
+
+    def prep_on():
+        enable_tracing()
+
+    def run_on():
+        latest["traced"] = run_campaign(source, cfg_on, n_workers=1)
+        tracer = get_tracer()
+        if tracer is not None:
+            observed["spans"] = tracer.drain()
+
+    try:
+        t_on, t_off, ratio = alternating_blocks(
+            run_on, prep_on, run_off, prep_off, reps, rounds
+        )
+    finally:
+        disable_tracing()
+    untraced = latest["untraced"]
+    traced = latest["traced"]
+    bitwise = bool(
+        np.array_equal(untraced.t1, traced.t1)
+        and np.array_equal(untraced.t2, traced.t2)
+        and np.array_equal(untraced.t3, traced.t3)
+    )
+    assert bitwise, "traced campaign diverged bitwise from untraced"
+    spans = observed["spans"]
+    assert spans, "traced campaign recorded no spans"
+    return {
+        "source": source_label or type(source).__name__,
+        "n_traces": config.n_traces,
+        "batch_size": config.batch_size,
+        "untraced_s": t_off,
+        "traced_s": t_on,
+        "overhead": ratio - 1.0,
+        "bitwise_equal": bitwise,
+        "n_spans": len(spans),
+        "coverage": coverage(spans),
+        "traced_stats": traced.stats.as_dict(),
+    }
+
+
 def assemble_payload(**sections) -> Dict[str, object]:
-    """Wrap comparison sections in the v4 envelope (host + validity)."""
+    """Wrap comparison sections in the v5 envelope (host + validity)."""
     cpu = _cpu_count()
     return {
         "schema": SCHEMA,
@@ -505,6 +598,16 @@ class BenchResult:
                     f"max depth {planes['max_planes']} bits, "
                     f"{planes['overflow_bins']} bins past 2^24"
                 )
+        ob = p.get("obs")
+        if ob:
+            lines.append(
+                f"obs:      untraced {ob['untraced_s']:8.3f} s   "
+                f"traced {ob['traced_s']:8.3f} s   "
+                f"overhead {ob['overhead'] * 100:+.1f}%   "
+                f"bitwise={ob['bitwise_equal']}   "
+                f"({ob['n_spans']} spans, "
+                f"coverage {ob['coverage']:.0%})"
+            )
         if self.json_path is not None:
             lines.append(f"wrote {self.json_path}")
         return "\n".join(lines)
@@ -516,7 +619,7 @@ def run(
     write: bool = True,
     json_path: "Optional[Path]" = None,
 ) -> BenchResult:
-    """Run all comparisons and (by default) write the v4 JSON.
+    """Run all comparisons and (by default) write the v5 JSON.
 
     ``quick`` shrinks the budgets to CI-smoke size and swaps the
     campaign workload from the masked-DES netlist engine to the
@@ -542,9 +645,9 @@ def run(
         source = SequenceSource(INPUT_NAMES, n_instances=8)
         cfg = CampaignConfig(
             n_traces=400, batch_size=100, noise_sigma=1.0, seed=0,
-            label="bench-quick",
+            label="bench.campaign",
         )
-        cfg_packed = cfg
+        cfg_packed = dc_replace(cfg, label="bench.campaign_packed")
         source_label = "SequenceSource (secAND2 bank, 8 instances)"
     else:
         settle = settle_comparison()
@@ -557,7 +660,7 @@ def run(
         )
         cfg = CampaignConfig(
             n_traces=500, batch_size=125, noise_sigma=1.0, seed=0,
-            label="bench",
+            label="bench.campaign",
         )
         # The engine comparison gets a lane-aligned geometry: 125-trace
         # batches are two ragged uint64 lanes — per-batch fixed costs
@@ -566,7 +669,7 @@ def run(
         # multi-batch config so the pool has batches to shard.
         cfg_packed = CampaignConfig(
             n_traces=512, batch_size=512, noise_sigma=1.0, seed=0,
-            label="bench-packed",
+            label="bench.campaign_packed",
         )
         source_label = "DESTraceSource (masked DES netlist, ff variant)"
     if _cpu_count() < 2:
@@ -581,11 +684,17 @@ def run(
     campaign_packed = campaign_packed_comparison(
         source, cfg_packed, source_label=source_label
     )
+    obs = obs_overhead_comparison(
+        source,
+        dc_replace(cfg_packed, pack_traces=True, label="bench.obs"),
+        source_label=source_label,
+    )
     payload = assemble_payload(
         settle=settle,
         settle_packed=settle_packed,
         campaign=campaign,
         campaign_packed=campaign_packed,
+        obs=obs,
     )
     path = write_json(payload, json_path) if write else None
     return BenchResult(payload=payload, json_path=path)

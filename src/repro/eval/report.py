@@ -66,9 +66,33 @@ def campaign_stats_panel(stats) -> str:
 
     Renders :meth:`repro.leakage.stats.CampaignStats.summary` — worker
     topology, throughput, transport traffic and schedule-cache
-    behaviour — under the statistical panel it belongs to.
+    behaviour — under the statistical panel it belongs to.  When the
+    campaign ran with :mod:`repro.obs` tracing enabled the runners
+    attach per-phase timing histograms (``stats.phases``); those get a
+    breakdown table here, each phase with its call count, total
+    seconds, share of the summed phase time, and min/max per call.
     """
-    return "\n".join("  " + line for line in stats.summary().splitlines())
+    lines = list(stats.summary().splitlines())
+    phases = getattr(stats, "phases", None)
+    if phases:
+        grand = sum(p["total_s"] for p in phases.values()) or 1.0
+        rows = [
+            (
+                label,
+                int(p["count"]),
+                f"{p['total_s']:.3f}",
+                f"{p['total_s'] / grand:.0%}",
+                f"{p['min_s'] * 1e3:.2f}",
+                f"{p['max_s'] * 1e3:.2f}",
+            )
+            for label, p in phases.items()
+        ]
+        table = render_table(
+            ("phase", "count", "total s", "share", "min ms", "max ms"), rows
+        )
+        lines.append("phases:")
+        lines.extend("  " + line for line in table.splitlines())
+    return "\n".join("  " + line for line in lines)
 
 
 def tvla_panel(result, threshold: float = 4.5, show_stats: bool = False) -> str:

@@ -64,9 +64,24 @@ from typing import Callable, Iterator, List, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
 
+from ..obs import metrics as obs_metrics
+from ..obs.summary import campaign_phases
+from ..obs.trace import (
+    adopt_trace_context,
+    get_tracer,
+    ingest_spans,
+    trace,
+    trace_context,
+    tracing_enabled,
+)
 from ..sim.bitpack import LANE_BITS, resolve_pack_traces
 from ..sim.compiled import pin_schedule_cache, schedule_cache_counters
 from .stats import BatchRecord, CampaignStats
+
+#: Metric name of the recorder clamp counter (see
+#: ``repro.sim.power.PowerRecorder._note_clamped``); diffed per batch
+#: into :attr:`BatchRecord.clamped_events`.
+_M_CLAMPED = "power.clamped_events"
 from .transport import (
     ShardPayload,
     adopt_shard,
@@ -379,11 +394,13 @@ def _acquire_batch(
         # documented contract for simulator-backed sources); sources
         # without the attribute simply don't support packing.
         source.pack_traces = config.pack_traces
-    traces = source.acquire(fixed_mask, rng)
+    with trace("batch.simulate", index=index, n=n):
+        traces = source.acquire(fixed_mask, rng)
     if config.noise_sigma > 0:
-        traces = traces + rng.normal(
-            0.0, config.noise_sigma, size=traces.shape
-        ).astype(traces.dtype, copy=False)
+        with trace("batch.noise", index=index):
+            traces = traces + rng.normal(
+                0.0, config.noise_sigma, size=traces.shape
+            ).astype(traces.dtype, copy=False)
     return fixed_mask, traces
 
 
@@ -393,7 +410,8 @@ def _batch_accumulator(
     """One batch folded into a fresh per-batch accumulator (a shard)."""
     fixed_mask, traces = _acquire_batch(source, config, index, n)
     acc = TTestAccumulator(source.n_samples)
-    acc.update(traces, fixed_mask)
+    with trace("batch.accumulate", index=index):
+        acc.update(traces, fixed_mask)
     return acc
 
 
@@ -402,8 +420,10 @@ def _timed_batch(
 ) -> Tuple[TTestAccumulator, BatchRecord]:
     """One batch plus its :class:`BatchRecord` (time, cache deltas)."""
     c0 = schedule_cache_counters()
+    clamped0 = obs_metrics.counter_value(_M_CLAMPED)
     t0 = time.perf_counter()
-    acc = _batch_accumulator(source, config, index, n)
+    with trace("campaign.batch", index=index, n=n):
+        acc = _batch_accumulator(source, config, index, n)
     seconds = time.perf_counter() - t0
     c1 = schedule_cache_counters()
     return acc, BatchRecord(
@@ -412,6 +432,7 @@ def _timed_batch(
         seconds=seconds,
         schedule_compiles=c1["compiles"] - c0["compiles"],
         schedule_replays=c1["hits"] - c0["hits"],
+        clamped_events=int(obs_metrics.counter_value(_M_CLAMPED) - clamped0),
     )
 
 
@@ -427,11 +448,24 @@ def _warm_source(source: TraceSource) -> float:
     warm = getattr(source, "warmup", None)
     if warm is None:
         return 0.0
+    c0 = schedule_cache_counters()
     t0 = time.perf_counter()
-    circuits = warm() or ()
-    for circuit in circuits:
-        pin_schedule_cache(circuit)
-    return time.perf_counter() - t0
+    with trace("campaign.warmup"):
+        circuits = warm() or ()
+        for circuit in circuits:
+            pin_schedule_cache(circuit)
+    seconds = time.perf_counter() - t0
+    # Re-attribute the warm-up's cache activity to dedicated metrics,
+    # so the batch-time ``schedule_cache.hits``/``compiles`` counters
+    # reconcile exactly with the CampaignStats per-batch deltas (whose
+    # documented contract excludes warm-up).
+    c1 = schedule_cache_counters()
+    for key, metric in (("hits", "hits"), ("compiles", "compiles")):
+        delta = c1[key] - c0[key]
+        if delta:
+            obs_metrics.inc(f"schedule_cache.warmup_{metric}", delta)
+            obs_metrics.inc(f"schedule_cache.{metric}", -delta)
+    return seconds
 
 
 # Worker-process state, installed once per worker by the pool
@@ -444,8 +478,14 @@ def _init_worker(
     config: CampaignConfig,
     transport: str,
     shm_prefix: Optional[str] = None,
+    obs_ctx: Optional[dict] = None,
 ) -> None:
     global _WORKER_STATE
+    # Adopt (or, when the parent is untraced, drop) the parent's trace
+    # context before anything that might open spans.  Under ``fork``
+    # this also discards the inherited copy of the parent's span
+    # buffer, which the parent already owns.
+    adopt_trace_context(obs_ctx)
     set_segment_prefix(shm_prefix)
     _warm_source(source)
     _WORKER_STATE = (source, config, transport)
@@ -471,6 +511,9 @@ def _worker_batch(
 ) -> "Tuple[ShardPayload, BatchRecord] | _WorkerFailure":
     index, n = item
     source, config, transport = _WORKER_STATE  # type: ignore[misc]
+    tracer = get_tracer()
+    span_mark = tracer.mark() if tracer is not None else 0
+    before = obs_metrics.snapshot()
     try:
         acc, record = _timed_batch(source, config, index, n)
         payload = pack_shard(acc, transport)
@@ -479,10 +522,45 @@ def _worker_batch(
             index, f"{type(exc).__name__}: {exc}", traceback.format_exc()
         )
     record.pipe_bytes = payload.pipe_bytes
+    # Ship this batch's registry delta (and, when tracing, its spans)
+    # to the parent on the record — the worker→parent aggregation path
+    # that keeps one metrics snapshot covering the whole campaign.
+    record.metrics = obs_metrics.snapshot().diff(before).as_dict()
+    if tracer is not None:
+        record.spans = tracer.spans(since=span_mark)
     # Ownership of a shared-memory segment moves to the parent with
     # this return; drop it from our registry so the worker's exit
     # finalizer can't unlink a segment the parent is about to read.
     return mark_shard_sent(payload), record
+
+
+def _absorb_record(record: BatchRecord) -> None:
+    """Fold a worker-produced record's telemetry into this process.
+
+    Merges the batch's metrics diff into the parent registry and
+    ingests its spans into the parent tracer, then strips both from
+    the record (they have been consumed; keeping worker span lists on
+    every record would bloat ``CampaignStats``).  Serial batches never
+    attach either, so this is a no-op for them.
+    """
+    if record.metrics is not None:
+        obs_metrics.merge_into(record.metrics)
+        record.metrics = None
+    if record.spans is not None:
+        ingest_spans(record.spans)
+        record.spans = None
+
+
+def _attach_phases(stats: CampaignStats, span_mark: int) -> None:
+    """Aggregate this run's spans into ``stats.phases`` (traced runs)."""
+    tracer = get_tracer()
+    if tracer is not None:
+        stats.phases = campaign_phases(tracer.spans(since=span_mark))
+
+
+def _trace_mark() -> int:
+    tracer = get_tracer()
+    return tracer.mark() if tracer is not None else 0
 
 
 def _pool_context(config: CampaignConfig):
@@ -523,11 +601,17 @@ def _campaign_pool(
         warm_s = _warm_source(source)
         if stats is not None:
             stats.warmup_seconds += warm_s
-    return ctx.Pool(
-        n_workers,
-        initializer=_init_worker,
-        initargs=(source, config, transport, segment_prefix()),
-    )
+    # Capture the context *before* opening the setup span so worker
+    # spans root under the campaign span, not under pool setup.
+    obs_ctx = trace_context()
+    with trace("campaign.pool_setup", n_workers=n_workers):
+        return ctx.Pool(
+            n_workers,
+            initializer=_init_worker,
+            initargs=(
+                source, config, transport, segment_prefix(), obs_ctx,
+            ),
+        )
 
 
 def _iter_shards(
@@ -576,13 +660,15 @@ def _iter_shards(
                     )
                 payload, record = out
                 adopt_shard(payload)
+                _absorb_record(record)
                 stats.batches.append(record)
                 yield unpack_shard(payload)
     finally:
         # The pool is dead here (the context manager terminated it), so
         # anything the prefix scan finds is a true orphan — in-flight
         # shards of a cancelled run, or leftovers of killed workers.
-        stats.scavenged_segments += len(scavenge_orphans())
+        with trace("campaign.scavenge"):
+            stats.scavenged_segments += len(scavenge_orphans())
 
 
 def _begin_stats(config: CampaignConfig) -> CampaignStats:
@@ -614,11 +700,16 @@ def run_campaign(
             topology, throughput and transport actually used.
     """
     stats = _begin_stats(config)
+    span_mark = _trace_mark()
     t0 = time.perf_counter()
     acc = TTestAccumulator(source.n_samples)
-    for shard in _iter_shards(source, config, n_workers, stats):
-        acc.merge(shard)
+    with trace("campaign.run", label=config.label, n_traces=config.n_traces):
+        for shard in _iter_shards(source, config, n_workers, stats):
+            with trace("campaign.merge"):
+                acc.merge(shard)
     stats.wall_seconds = time.perf_counter() - t0
+    if tracing_enabled():
+        _attach_phases(stats, span_mark)
     return acc.result(label=config.label, stats=stats)
 
 
@@ -652,25 +743,32 @@ def detect_leakage_traces(
     if config.transport == "auto":
         config = replace(config, transport="pickle")
     stats = _begin_stats(config)
+    span_mark = _trace_mark()
     t0 = time.perf_counter()
     acc = TTestAccumulator(source.n_samples)
     hits = 0
     detected: Optional[int] = None
     shards = _iter_shards(source, config, n_workers, stats)
     try:
-        for shard in shards:
-            acc.merge(shard)
-            t = acc.t_stats(order)
-            if np.max(np.abs(t)) > threshold:
-                hits += 1
-                if hits >= consecutive and detected is None:
-                    detected = acc.n_traces
-                    break
-            else:
-                hits = 0
+        with trace(
+            "campaign.run", label=config.label, n_traces=config.n_traces
+        ):
+            for shard in shards:
+                with trace("campaign.merge"):
+                    acc.merge(shard)
+                t = acc.t_stats(order)
+                if np.max(np.abs(t)) > threshold:
+                    hits += 1
+                    if hits >= consecutive and detected is None:
+                        detected = acc.n_traces
+                        break
+                else:
+                    hits = 0
     finally:
         shards.close()
     stats.wall_seconds = time.perf_counter() - t0
+    if tracing_enabled():
+        _attach_phases(stats, span_mark)
     return detected, acc.result(label=config.label, stats=stats)
 
 

@@ -37,14 +37,19 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from ..obs.log import get_logger
+from ..obs.trace import trace, tracing_enabled
 from .acquisition import (
     CampaignBatchError,
     CampaignConfig,
     TraceSource,
+    _absorb_record,
+    _attach_phases,
     _batch_plan,
     _campaign_pool,
     _pool_context,
     _timed_batch,
+    _trace_mark,
     _WorkerFailure,
     _worker_batch,
     resolve_n_workers,
@@ -67,6 +72,8 @@ __all__ = [
 ]
 
 CHECKPOINT_VERSION = 1
+
+_LOG = get_logger("leakage.resilient")
 
 #: Fingerprint fields that must match between a checkpoint and the
 #: campaign resuming from it.
@@ -147,10 +154,11 @@ def save_checkpoint(
     arrays["noise_sigma"] = np.asarray(config.noise_sigma, dtype=np.float64)
     arrays["seed"] = np.asarray(config.seed, dtype=np.int64)
     arrays["label"] = np.asarray(config.label)
-    tmp = f"{path}.tmp"
-    with open(tmp, "wb") as f:
-        np.savez(f, **arrays)
-    os.replace(tmp, path)
+    with trace("campaign.checkpoint", next_batch=int(next_batch)):
+        tmp = f"{path}.tmp"
+        with open(tmp, "wb") as f:
+            np.savez(f, **arrays)
+        os.replace(tmp, path)
 
 
 def quarantine_checkpoint(path: str, reason: str) -> str:
@@ -165,12 +173,12 @@ def quarantine_checkpoint(path: str, reason: str) -> str:
         os.replace(path, target)
     except OSError:  # pragma: no cover - concurrent removal
         pass
-    warnings.warn(
+    msg = (
         f"checkpoint {path!r} is unreadable ({reason}); quarantined to "
-        f"{target!r} and ignored",
-        RuntimeWarning,
-        stacklevel=3,
+        f"{target!r} and ignored"
     )
+    _LOG.warning("%s", msg)
+    warnings.warn(msg, RuntimeWarning, stacklevel=3)
     return target
 
 
@@ -290,10 +298,12 @@ def run_campaign_resilient(
     n_workers = resolve_n_workers(requested, len(plan))
     transport = resolve_transport(config.transport, source.n_samples)
 
+    span_mark = _trace_mark()
     acc = TTestAccumulator(source.n_samples)
     start = 0
     if resume:
-        loaded = load_checkpoint(checkpoint_path, config, source.n_samples)
+        with trace("campaign.checkpoint_load", path=checkpoint_path):
+            loaded = load_checkpoint(checkpoint_path, config, source.n_samples)
         if loaded is not None:
             acc, start = loaded
 
@@ -336,11 +346,18 @@ def run_campaign_resilient(
             # With the pool dead, sweep the campaign's segment prefix:
             # shards in flight when a worker died (or whose payloads we
             # just discarded) must not outlive the rebuild.
-            stats.scavenged_segments += len(scavenge_orphans())
+            with trace("campaign.scavenge"):
+                stats.scavenged_segments += len(scavenge_orphans())
         pool = None
         pending = {}
         submitted = i
 
+    # Opened here, closed in the ``finally``: teardown and the
+    # interruption checkpoint stay inside the run span.
+    run_span = trace(
+        "campaign.run", label=config.label, n_traces=config.n_traces
+    )
+    run_span.__enter__()
     try:
         while i < len(plan):
             if n_workers <= 1:
@@ -394,7 +411,9 @@ def run_campaign_resilient(
                 payload, record = out
                 shard = unpack_shard(adopt_shard(payload))
                 attempts = 0
-            acc.merge(shard)
+            with trace("campaign.merge"):
+                acc.merge(shard)
+            _absorb_record(record)
             stats.batches.append(record)
             i += 1
             dirty = True
@@ -407,8 +426,11 @@ def run_campaign_resilient(
             # Interrupted (exception / ctrl-C): persist the completed
             # prefix so the restart costs at most one batch.
             save_checkpoint(checkpoint_path, acc, config, next_batch=i)
+        run_span.__exit__(None, None, None)
 
     stats.wall_seconds = time.perf_counter() - t_start
+    if tracing_enabled():
+        _attach_phases(stats, span_mark)
     if cleanup:
         if os.path.exists(checkpoint_path):
             os.remove(checkpoint_path)

@@ -24,7 +24,7 @@ two-line reading used by the ``repro.eval`` reports.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 __all__ = ["BatchRecord", "CampaignStats"]
 
@@ -39,6 +39,14 @@ class BatchRecord:
     pipe_bytes: int = 0
     schedule_compiles: int = 0  #: schedule compiles during this batch
     schedule_replays: int = 0  #: schedule-cache hits during this batch
+    clamped_events: int = 0  #: recorder clamp events during this batch
+    #: Worker-side :mod:`repro.obs.metrics` snapshot diff of this batch
+    #: (parallel runs only); consumed — merged into the parent registry
+    #: and cleared — on receipt.  Serial batches leave it ``None``.
+    metrics: Optional[Dict[str, object]] = None
+    #: Worker-side span dicts of this batch (traced parallel runs
+    #: only); consumed into the parent tracer on receipt.
+    spans: Optional[List[dict]] = None
 
 
 @dataclass
@@ -66,6 +74,11 @@ class CampaignStats:
     skipped_traces: int = 0
     scavenged_segments: int = 0  #: orphaned shm segments reclaimed
     batches: List[BatchRecord] = field(default_factory=list)
+    #: Per-phase timing histograms (``phase -> {count, total_s, min_s,
+    #: max_s}``), attached by the runners when the campaign ran with
+    #: tracing enabled (see :func:`repro.obs.summary.campaign_phases`);
+    #: empty for untraced runs.
+    phases: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     @property
@@ -92,6 +105,12 @@ class CampaignStats:
     def schedule_replays(self) -> int:
         """Schedule-cache hits during batch acquisition."""
         return sum(b.schedule_replays for b in self.batches)
+
+    @property
+    def clamped_events(self) -> int:
+        """Recorder clamp events across all batches (see
+        :class:`repro.sim.power.ClampedEventWarning`)."""
+        return sum(b.clamped_events for b in self.batches)
 
     def batch_seconds(self) -> Dict[str, float]:
         """Min / median / max per-batch wall time."""
@@ -126,6 +145,7 @@ class CampaignStats:
             "pipe_bytes": self.pipe_bytes,
             "schedule_compiles": self.schedule_compiles,
             "schedule_replays": self.schedule_replays,
+            "clamped_events": self.clamped_events,
             "pool_rebuilds": self.pool_rebuilds,
             "restarts": self.restarts,
             "watchdog_kills": self.watchdog_kills,
@@ -135,6 +155,51 @@ class CampaignStats:
             "skipped_traces": self.skipped_traces,
             "scavenged_segments": self.scavenged_segments,
             "batch_seconds": self.batch_seconds(),
+            "phases": {k: dict(v) for k, v in self.phases.items()},
+        }
+
+    def reconcile(self, metrics_diff) -> Dict[str, Tuple[int, int]]:
+        """Cross-check these counters against an obs metrics diff.
+
+        ``metrics_diff`` is a :class:`repro.obs.metrics.MetricsSnapshot`
+        (or its ``as_dict()``) diffed across the campaign run in the
+        parent process.  Every counter here has exactly one registry
+        metric behind it, so an undisturbed run must agree exactly;
+        returns the mismatches as ``name -> (stats_value,
+        metrics_value)`` — empty means fully reconciled.
+        """
+        counters = (
+            metrics_diff.get("counters", {})
+            if isinstance(metrics_diff, dict)
+            else metrics_diff.counters
+        )
+        checks = {
+            "pipe_bytes": (
+                self.pipe_bytes, counters.get("transport.pipe_bytes", 0),
+            ),
+            "schedule_replays": (
+                self.schedule_replays,
+                counters.get("schedule_cache.hits", 0),
+            ),
+            "schedule_compiles": (
+                self.schedule_compiles,
+                counters.get("schedule_cache.compiles", 0),
+            ),
+            "clamped_events": (
+                self.clamped_events, counters.get("power.clamped_events", 0),
+            ),
+            "restarts": (
+                self.restarts, counters.get("supervisor.restarts", 0),
+            ),
+            "scavenged_segments": (
+                self.scavenged_segments,
+                counters.get("transport.scavenged_segments", 0),
+            ),
+        }
+        return {
+            name: (int(a), int(b))
+            for name, (a, b) in checks.items()
+            if int(a) != int(b)
         }
 
     def robustness_events(self) -> Dict[str, int]:

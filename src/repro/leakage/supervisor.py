@@ -62,14 +62,19 @@ from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
+from ..obs import metrics as obs_metrics
+from ..obs.trace import trace, trace_context, tracing_enabled
 from .acquisition import (
     CampaignBatchError,
     CampaignConfig,
     TraceSource,
+    _absorb_record,
+    _attach_phases,
     _batch_plan,
     _init_worker,
     _pool_context,
     _timed_batch,
+    _trace_mark,
     _warm_source,
     _WorkerFailure,
     _worker_batch,
@@ -330,10 +335,11 @@ def _init_supervised_worker(
     slot_counter,
     n_slots: int,
     worker_setup,
+    obs_ctx: Optional[dict] = None,
 ) -> None:
     """Pool initializer: campaign state + heartbeat slot + chaos hooks."""
     global _HB, _HB_SLOTS, _MY_SLOT
-    _init_worker(source, config, transport, shm_prefix)
+    _init_worker(source, config, transport, shm_prefix, obs_ctx)
     _HB = hb
     _HB_SLOTS = n_slots
     with slot_counter.get_lock():
@@ -540,17 +546,20 @@ def run_campaign_supervised(
         warmup_batch_s=warmup_s if warmup_s > 0 else None,
     )
 
+    span_mark = _trace_mark()
     acc = TTestAccumulator(source.n_samples)
     start = 0
     quarantined: List[int] = []
     if resume:
-        loaded = load_checkpoint_supervised(
-            checkpoint_path, config, source.n_samples
-        )
+        with trace("campaign.checkpoint_load", path=checkpoint_path):
+            loaded = load_checkpoint_supervised(
+                checkpoint_path, config, source.n_samples
+            )
         if loaded is not None:
             acc, start = loaded.acc, loaded.next_batch
             quarantined = list(loaded.quarantined)
             stats.restarts = loaded.restarts + 1
+            obs_metrics.inc("supervisor.restarts", stats.restarts)
             stats.watchdog_kills = loaded.watchdog_kills
             stats.checkpoint_restores += int(loaded.used_fallback)
             stats.checkpoints_quarantined += loaded.files_quarantined
@@ -566,15 +575,17 @@ def run_campaign_supervised(
     worker_setup = getattr(chaos, "worker_setup", None)
 
     def flush(next_batch: int) -> None:
-        save_checkpoint_supervised(
-            checkpoint_path,
-            acc,
-            config,
-            next_batch=next_batch,
-            restarts=stats.restarts,
-            watchdog_kills=stats.watchdog_kills,
-            quarantined=quarantined,
-        )
+        with trace("campaign.checkpoint", next_batch=next_batch):
+            save_checkpoint_supervised(
+                checkpoint_path,
+                acc,
+                config,
+                next_batch=next_batch,
+                restarts=stats.restarts,
+                watchdog_kills=stats.watchdog_kills,
+                quarantined=quarantined,
+            )
+        obs_metrics.inc("supervisor.checkpoints_written")
         if post_checkpoint is not None:
             post_checkpoint(checkpoint_path, next_batch)
 
@@ -637,10 +648,12 @@ def run_campaign_supervised(
     def teardown_pool() -> None:
         nonlocal pool, pending, submitted, hb
         if pool is not None:
-            drain_pending()
-            pool.terminate()
-            pool.join()
-            stats.scavenged_segments += len(scavenge_orphans())
+            with trace("campaign.pool_teardown"):
+                drain_pending()
+                pool.terminate()
+                pool.join()
+            with trace("campaign.scavenge"):
+                stats.scavenged_segments += len(scavenge_orphans())
         pool = None
         hb = None
         pending = {}
@@ -662,6 +675,13 @@ def run_campaign_supervised(
         time.sleep(backoff_s * (2 ** (attempts - 1)))
         return "retry"
 
+    # The run span opens here and closes in the ``finally`` below, so
+    # pool teardown and the exit scavenge stay inside it — manual
+    # enter/exit keeps the recovery control flow un-indented.
+    run_span = trace(
+        "campaign.run", label=config.label, n_traces=config.n_traces
+    )
+    run_span.__enter__()
     try:
         while i < len(plan):
             if stop_signal:
@@ -697,25 +717,31 @@ def run_campaign_supervised(
                     continue
             else:
                 if pool is None:
-                    ctx = _pool_context(config)
-                    hb = ctx.Array("d", 3 * n_workers)
-                    slot_counter = ctx.Value("i", 0)
-                    if ctx.get_start_method() == "fork":
-                        stats.warmup_seconds += _warm_source(source)
-                    pool = ctx.Pool(
-                        n_workers,
-                        initializer=_init_supervised_worker,
-                        initargs=(
-                            source,
-                            config,
-                            transport,
-                            segment_prefix(),
-                            hb,
-                            slot_counter,
+                    # Capture the context *before* opening the setup
+                    # span so worker spans root under the campaign
+                    # span, not under pool setup.
+                    obs_ctx = trace_context()
+                    with trace("campaign.pool_setup", n_workers=n_workers):
+                        ctx = _pool_context(config)
+                        hb = ctx.Array("d", 3 * n_workers)
+                        slot_counter = ctx.Value("i", 0)
+                        if ctx.get_start_method() == "fork":
+                            stats.warmup_seconds += _warm_source(source)
+                        pool = ctx.Pool(
                             n_workers,
-                            worker_setup,
-                        ),
-                    )
+                            initializer=_init_supervised_worker,
+                            initargs=(
+                                source,
+                                config,
+                                transport,
+                                segment_prefix(),
+                                hb,
+                                slot_counter,
+                                n_workers,
+                                worker_setup,
+                                obs_ctx,
+                            ),
+                        )
                     pool_gen += 1
                     stats.n_workers = n_workers
                     stats.transport = transport
@@ -740,9 +766,13 @@ def run_campaign_supervised(
                 except KeyError:  # pragma: no cover - defensive
                     continue
                 try:
-                    out = _await_result(
-                        out, deadline, hb, n_workers, watchdog_timeout_s
-                    )
+                    # The await is a real phase of the parent — blocked
+                    # on workers — and spans it so the merged timeline
+                    # accounts for the wait, not just the work.
+                    with trace("campaign.await", index=index):
+                        out = _await_result(
+                            out, deadline, hb, n_workers, watchdog_timeout_s
+                        )
                     if isinstance(out, _WorkerFailure):
                         raise CampaignBatchError(
                             out.index, config.label, out.message, out.traceback
@@ -751,6 +781,7 @@ def run_campaign_supervised(
                     shard = unpack_shard(adopt_shard(payload))
                 except _HungPool as hung:
                     stats.watchdog_kills += 1
+                    obs_metrics.inc("supervisor.watchdog_kills")
                     stats.pool_rebuilds += 1
                     teardown_pool()
                     action = on_batch_failure(index, f"pool-{pool_gen}", hung.why)
@@ -804,7 +835,9 @@ def run_campaign_supervised(
                         n_workers = 1
                         attempts = 0
                     continue
-            acc.merge(shard)
+            with trace("campaign.merge"):
+                acc.merge(shard)
+            _absorb_record(record)
             stats.batches.append(record)
             attempts = 0
             i += 1
@@ -820,11 +853,15 @@ def run_campaign_supervised(
             except (ValueError, OSError):  # pragma: no cover
                 pass
         teardown_pool()
-        stats.scavenged_segments += len(scavenge_orphans())
+        with trace("campaign.scavenge"):
+            stats.scavenged_segments += len(scavenge_orphans())
         if dirty and i < len(plan):
             flush(i)
+        run_span.__exit__(None, None, None)
 
     stats.wall_seconds = time.perf_counter() - t_start
+    if tracing_enabled():
+        _attach_phases(stats, span_mark)
     if cleanup:
         for leftover in (
             checkpoint_path,

@@ -80,7 +80,18 @@ from typing import Callable, List, Optional, Set, Tuple
 
 import numpy as np
 
+from ..obs import metrics as obs_metrics
+from ..obs.log import get_logger
+from ..obs.trace import trace
 from .tvla import TTestAccumulator
+
+_LOG = get_logger("leakage.transport")
+
+#: Registry metric names (see :mod:`repro.obs.metrics`): bytes crossing
+#: the pool result pipe, segments created, and orphans scavenged.
+_M_PIPE_BYTES = "transport.pipe_bytes"
+_M_SEGMENTS = "transport.segments_created"
+_M_SCAVENGED = "transport.scavenged_segments"
 
 __all__ = [
     "TRANSPORTS",
@@ -205,6 +216,7 @@ def _create_segment(nbytes: int):
     if shm is None:
         shm = shared_memory.SharedMemory(create=True, size=nbytes)
     _LIVE_SEGMENTS.add(shm.name)
+    obs_metrics.inc(_M_SEGMENTS)
     return shm
 
 
@@ -270,6 +282,13 @@ def scavenge_orphans(prefix: Optional[str] = None) -> List[str]:
         for entry in entries:
             if entry.startswith(scan) and _unlink_quietly(entry):
                 scavenged.append(entry)
+    if scavenged:
+        obs_metrics.inc(_M_SCAVENGED, len(scavenged))
+        _LOG.info(
+            "scavenged %d orphaned shared-memory segment(s): %s",
+            len(scavenged),
+            ", ".join(scavenged),
+        )
     return scavenged
 
 
@@ -345,6 +364,13 @@ def pack_shard(acc: TTestAccumulator, transport: str) -> ShardPayload:
 
     ``transport`` must already be concrete (:func:`resolve_transport`).
     """
+    with trace("transport.pack", transport=transport):
+        payload = _pack_shard(acc, transport)
+    obs_metrics.inc(_M_PIPE_BYTES, payload.pipe_bytes)
+    return payload
+
+
+def _pack_shard(acc: TTestAccumulator, transport: str) -> ShardPayload:
     packed = np.stack([acc._fixed.sums, acc._random.sums])
     if transport == "pickle":
         return ShardPayload(
@@ -414,6 +440,11 @@ def unpack_shard(payload: ShardPayload) -> TTestAccumulator:
         TransportError: The segment vanished before it could be read
             (creator killed mid-handoff, or a scavenger raced us).
     """
+    with trace("transport.unpack"):
+        return _unpack_shard(payload)
+
+
+def _unpack_shard(payload: ShardPayload) -> TTestAccumulator:
     acc = TTestAccumulator(payload.n_samples)
     acc._fixed.n = payload.fixed_n
     acc._random.n = payload.random_n

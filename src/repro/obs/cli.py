@@ -1,0 +1,170 @@
+"""``python -m repro obs`` — record, summarise and convert traces.
+
+Subcommands:
+
+* ``record`` — run a small traced workload (a TVLA campaign, a
+  supervised campaign, or a masking-compiler run), write the span
+  stream as JSONL and optionally as a Chrome trace-event file
+  (loadable in ``chrome://tracing`` / Perfetto), and print the
+  self-time summary.
+* ``summary`` — aggregate an existing JSONL trace file.
+* ``convert`` — JSONL -> Chrome trace-event JSON.
+
+Examples::
+
+    python -m repro obs record --out trace.jsonl --chrome trace.json
+    python -m repro obs record --what compile --out compile.jsonl
+    python -m repro obs summary trace.jsonl
+    python -m repro obs convert trace.jsonl trace.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from typing import List, Optional
+
+from .export import read_jsonl, write_chrome, write_jsonl
+from .summary import coverage, phase_stats, render_summary
+from .trace import disable_tracing, enable_tracing
+
+_WHAT = ("campaign", "supervised", "compile")
+
+
+def _record_campaign(args, supervised: bool) -> None:
+    from ..core.sequences import SequenceSource
+    from ..leakage.acquisition import CampaignConfig, run_campaign
+
+    source = SequenceSource(("x0", "x1", "y0", "y1"))
+    config = CampaignConfig(
+        n_traces=args.n_traces,
+        batch_size=args.batch_size,
+        noise_sigma=1.0,
+        seed=args.seed,
+        n_workers=args.n_workers,
+        label=f"obs.record.{'supervised' if supervised else 'campaign'}",
+    )
+    if supervised:
+        from ..leakage.supervisor import run_campaign_supervised
+
+        with tempfile.TemporaryDirectory(prefix="obs-record-") as workdir:
+            result = run_campaign_supervised(
+                source, config, checkpoint_path=f"{workdir}/campaign.npz"
+            )
+    else:
+        result = run_campaign(source, config)
+    if result.stats is not None:
+        print(result.stats.summary())
+
+
+def _record_compile(args) -> None:
+    from ..compile import compile_spec, des_sbox_spec
+
+    result = compile_spec(des_sbox_spec(0), style="pd")
+    cert = result.certify()
+    print(
+        f"compiled {result.plan.spec.name} ({result.style}): "
+        f"certificate ok={cert.ok}"
+    )
+
+
+def _print_trace_report(spans: List[dict]) -> None:
+    print(render_summary(spans, top=20))
+    phases = phase_stats(spans)
+    if phases:
+        print(
+            "phases: "
+            + "  ".join(
+                f"{label}={entry['total_s']:.3f}s"
+                for label, entry in phases.items()
+            )
+        )
+    cov = coverage(spans)
+    if cov > 0:
+        print(f"campaign.run coverage: {cov:.1%}")
+
+
+def _cmd_record(args) -> int:
+    tracer = enable_tracing(capacity=args.capacity)
+    try:
+        if args.what == "compile":
+            _record_compile(args)
+        else:
+            _record_campaign(args, supervised=args.what == "supervised")
+    finally:
+        spans = tracer.drain()
+        disable_tracing()
+    if not spans:
+        print("no spans recorded", file=sys.stderr)
+        return 1
+    n = write_jsonl(spans, args.out)
+    print(f"wrote {n} spans to {args.out}")
+    if args.chrome:
+        write_chrome(spans, args.chrome)
+        print(f"wrote Chrome trace to {args.chrome}")
+    _print_trace_report(spans)
+    return 0
+
+
+def _cmd_summary(args) -> int:
+    spans = read_jsonl(args.trace)
+    if not spans:
+        print(f"{args.trace}: no spans", file=sys.stderr)
+        return 1
+    print(f"{args.trace}: {len(spans)} spans")
+    _print_trace_report(spans)
+    return 0
+
+
+def _cmd_convert(args) -> int:
+    spans = read_jsonl(args.trace)
+    if not spans:
+        print(f"{args.trace}: no spans", file=sys.stderr)
+        return 1
+    write_chrome(spans, args.chrome)
+    print(f"wrote {len(spans)} spans to {args.chrome}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro obs", description=__doc__
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    rec = sub.add_parser("record", help="run a traced workload")
+    rec.add_argument(
+        "--what",
+        choices=_WHAT,
+        default="campaign",
+        help="workload to trace (default: campaign)",
+    )
+    rec.add_argument("--n-traces", type=int, default=256)
+    rec.add_argument("--batch-size", type=int, default=64)
+    rec.add_argument("--n-workers", type=int, default=1)
+    rec.add_argument("--seed", type=int, default=0)
+    rec.add_argument(
+        "--capacity", type=int, default=65536, help="span ring-buffer size"
+    )
+    rec.add_argument("--out", required=True, help="JSONL output path")
+    rec.add_argument(
+        "--chrome", default=None, help="also write a Chrome trace here"
+    )
+    rec.set_defaults(func=_cmd_record)
+
+    summ = sub.add_parser("summary", help="aggregate a JSONL trace")
+    summ.add_argument("trace", help="JSONL trace file")
+    summ.set_defaults(func=_cmd_summary)
+
+    conv = sub.add_parser("convert", help="JSONL -> Chrome trace JSON")
+    conv.add_argument("trace", help="JSONL trace file")
+    conv.add_argument("chrome", help="Chrome trace output path")
+    conv.set_defaults(func=_cmd_convert)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,147 @@
+"""Trace exporters: JSONL span logs and Chrome trace-event JSON.
+
+Two interchangeable on-disk forms:
+
+* **JSONL** — one span dict per line (the tracer's native span
+  schema), sorted by start time then span id, each line serialised
+  with sorted keys.  Deterministic for a fixed clock: byte-identical
+  across runs.  This is the archival format the CLI writes.
+* **Chrome trace-event JSON** — ``{"traceEvents": [...]}`` with
+  complete (``"ph": "X"``) events, loadable in Perfetto / Chromium
+  ``chrome://tracing``.  Native nanosecond timestamps ride along in
+  ``args`` so the conversion is lossless: ``from_chrome(to_chrome(s))``
+  reproduces the span dicts exactly (``ts``/``dur`` microseconds are
+  display-only).
+
+No dependencies beyond the stdlib; everything is pure-function so the
+round trip is testable under a fixed clock stub.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List
+
+__all__ = [
+    "CHROME_SCHEMA",
+    "from_chrome",
+    "read_jsonl",
+    "sort_spans",
+    "to_chrome",
+    "write_chrome",
+    "write_jsonl",
+]
+
+CHROME_SCHEMA = "repro_obs_trace/v1"
+
+#: Span-dict keys that are structural (everything else a span carries
+#: lives under its ``attrs``).
+_SPAN_KEYS = (
+    "name",
+    "t_start_ns",
+    "dur_ns",
+    "pid",
+    "tid",
+    "span_id",
+    "parent_id",
+    "trace_id",
+    "seq",
+)
+
+
+def sort_spans(spans: Iterable[dict]) -> List[dict]:
+    """Deterministic order: start time, then pid/tid, then span id."""
+    return sorted(
+        spans,
+        key=lambda s: (
+            s.get("t_start_ns", 0),
+            s.get("pid", 0),
+            s.get("tid", 0),
+            str(s.get("span_id", "")),
+        ),
+    )
+
+
+def write_jsonl(spans: Iterable[dict], path: str) -> int:
+    """Write spans as sorted JSON lines; returns the span count."""
+    ordered = sort_spans(spans)
+    with open(path, "w") as fh:
+        for span in ordered:
+            fh.write(json.dumps(span, sort_keys=True, default=str))
+            fh.write("\n")
+    return len(ordered)
+
+
+def read_jsonl(path: str) -> List[dict]:
+    spans = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                spans.append(json.loads(line))
+    return spans
+
+
+def to_chrome(spans: Iterable[dict]) -> Dict[str, Any]:
+    """Convert span dicts to a Chrome trace-event payload.
+
+    Timestamps become microseconds (the viewer's unit); the original
+    nanosecond fields are preserved in each event's ``args`` under
+    ``span_id``/``parent_id``/``trace_id``/``t_start_ns``/``dur_ns``/
+    ``seq`` so :func:`from_chrome` can reconstruct losslessly.
+    """
+    events = []
+    for span in sort_spans(spans):
+        args = dict(span.get("attrs") or {})
+        for key in _SPAN_KEYS:
+            if key in ("name", "pid", "tid"):
+                continue
+            args[key] = span.get(key)
+        events.append(
+            {
+                "name": span["name"],
+                "cat": "repro",
+                "ph": "X",
+                "ts": span.get("t_start_ns", 0) / 1000.0,
+                "dur": span.get("dur_ns", 0) / 1000.0,
+                "pid": span.get("pid", 0),
+                "tid": span.get("tid", 0),
+                "args": args,
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"schema": CHROME_SCHEMA},
+    }
+
+
+def from_chrome(payload: Dict[str, Any]) -> List[dict]:
+    """Reconstruct span dicts from :func:`to_chrome` output (lossless)."""
+    spans = []
+    for event in payload.get("traceEvents", []):
+        if event.get("ph") != "X":
+            continue
+        args = dict(event.get("args") or {})
+        span = {
+            "name": event["name"],
+            "pid": event.get("pid", 0),
+            "tid": event.get("tid", 0),
+        }
+        for key in _SPAN_KEYS:
+            if key in ("name", "pid", "tid"):
+                continue
+            if key in args:
+                span[key] = args.pop(key)
+        span["attrs"] = args
+        spans.append(span)
+    return spans
+
+
+def write_chrome(spans: Iterable[dict], path: str) -> int:
+    """Write the Chrome trace-event JSON; returns the event count."""
+    payload = to_chrome(spans)
+    with open(path, "w") as fh:
+        json.dump(payload, fh, sort_keys=True, default=str)
+        fh.write("\n")
+    return len(payload["traceEvents"])

@@ -1,0 +1,46 @@
+"""Library logging for the ``repro`` namespace.
+
+Every diagnostic the package emits through :mod:`warnings` (one-shot
+by design, so a 10M-trace campaign is not drowned in repeats) is
+mirrored onto a standard :mod:`logging` logger under the ``repro.*``
+hierarchy, so headless campaign runs leave a greppable record when the
+embedding application configures logging.  Following library
+convention the root ``repro`` logger carries a
+:class:`logging.NullHandler` and nothing else: importing the package
+never prints, and the host application decides where records go::
+
+    import logging
+    logging.basicConfig(level=logging.INFO)   # now repro.* records show
+
+Use :func:`get_logger` from inside the package instead of calling
+``logging.getLogger`` directly — it guarantees the NullHandler is
+installed exactly once.
+"""
+
+from __future__ import annotations
+
+import logging
+
+__all__ = ["get_logger"]
+
+_ROOT_NAME = "repro"
+
+
+def _root() -> logging.Logger:
+    root = logging.getLogger(_ROOT_NAME)
+    if not any(isinstance(h, logging.NullHandler) for h in root.handlers):
+        root.addHandler(logging.NullHandler())
+    return root
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """Return the ``repro`` logger, or a child (``get_logger("sim.power")``).
+
+    The root ``repro`` logger is given a :class:`logging.NullHandler`
+    on first use so the library never emits to stderr unless the host
+    application configures handlers.
+    """
+    root = _root()
+    if not name:
+        return root
+    return root.getChild(name)

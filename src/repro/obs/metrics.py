@@ -1,0 +1,364 @@
+"""Process-wide metrics registry: counters, gauges and histograms.
+
+This is the single backing store for the runtime telemetry that used
+to live in scattered module-global dicts (``repro.sim.compiled``
+schedule-cache hits/compiles, ``repro.sim.power`` packed-accumulator
+counters, per-batch pipe bytes in the campaign runners).  Those
+modules now increment named metrics here and their public counter
+functions re-export registry values, so one :func:`snapshot` sees the
+whole pipeline.
+
+Design constraints, in order:
+
+* **zero dependencies** — stdlib only; :mod:`repro.obs` must be
+  importable before (and by) every other ``repro`` subpackage;
+* **cheap when idle** — an :func:`inc` is a lock + dict add, fast
+  enough for per-``settle`` call sites (hundreds per batch), while
+  anything hotter (per-event work) aggregates locally and reports
+  per batch;
+* **mergeable** — worker processes snapshot around each batch and
+  ship the :meth:`MetricsSnapshot.diff` to the parent attached to the
+  batch record, riding the existing moments transport; the parent
+  folds diffs back in with :func:`merge_into`.  ``merge`` is
+  associative (counters add, gauges max, histogram count/sum/buckets
+  add, min/max combine), so shard order does not matter.
+
+Metric keys are ``name`` or ``name{label=value,...}`` with labels
+sorted — a flat string key keeps snapshots trivially JSON-serialisable
+and diffable.
+
+Histograms are log2-bucketed (bucket ``e`` counts values in
+``[2**e, 2**(e+1))``): coarse, but enough to separate a 2 ms batch
+from a 200 ms one without storing samples.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Any, Dict, Iterable, Mapping, Optional
+
+__all__ = [
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "counter_value",
+    "gauge_value",
+    "inc",
+    "max_gauge",
+    "merge_into",
+    "metric_key",
+    "observe",
+    "registry",
+    "reset_metrics",
+    "set_gauge",
+    "snapshot",
+]
+
+#: Histogram bucket for non-positive values (log2 undefined).
+_BUCKET_ZERO = "zero"
+
+
+def metric_key(name: str, labels: Mapping[str, Any]) -> str:
+    """Flat string key: ``name`` or ``name{a=1,b=x}`` with sorted labels."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+def _bucket(value: float) -> str:
+    if value <= 0:
+        return _BUCKET_ZERO
+    return str(int(math.floor(math.log2(value))))
+
+
+class MetricsSnapshot:
+    """Immutable point-in-time copy of a registry (or a diff of two).
+
+    ``counters``/``gauges`` are flat ``key -> number`` dicts;
+    ``histograms`` maps ``key -> {"count", "sum", "min", "max",
+    "buckets": {exp: n}}``.  Snapshots support :meth:`diff` (what
+    happened between two snapshots of one registry) and :meth:`merge`
+    (combine diffs from independent processes; associative).
+    """
+
+    __slots__ = ("counters", "gauges", "histograms")
+
+    def __init__(
+        self,
+        counters: Optional[Dict[str, float]] = None,
+        gauges: Optional[Dict[str, float]] = None,
+        histograms: Optional[Dict[str, Dict[str, Any]]] = None,
+    ):
+        self.counters = dict(counters or {})
+        self.gauges = dict(gauges or {})
+        self.histograms = {
+            k: {
+                "count": h.get("count", 0),
+                "sum": h.get("sum", 0.0),
+                "min": h.get("min"),
+                "max": h.get("max"),
+                "buckets": dict(h.get("buckets", {})),
+            }
+            for k, h in (histograms or {}).items()
+        }
+
+    # -- serialisation -------------------------------------------------
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {
+                k: {**h, "buckets": dict(h["buckets"])}
+                for k, h in self.histograms.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "MetricsSnapshot":
+        return cls(
+            counters=payload.get("counters", {}),
+            gauges=payload.get("gauges", {}),
+            histograms=payload.get("histograms", {}),
+        )
+
+    # -- algebra -------------------------------------------------------
+    def diff(self, older: "MetricsSnapshot") -> "MetricsSnapshot":
+        """What accumulated between ``older`` and ``self``.
+
+        Counters and histogram count/sum/buckets subtract; gauges and
+        histogram min/max keep the newer value (a "diff" of a
+        level-style metric is just its current level).
+        """
+        counters = {}
+        for key, value in self.counters.items():
+            delta = value - older.counters.get(key, 0)
+            if delta:
+                counters[key] = delta
+        hists = {}
+        for key, h in self.histograms.items():
+            old = older.histograms.get(
+                key, {"count": 0, "sum": 0.0, "buckets": {}}
+            )
+            count = h["count"] - old["count"]
+            if not count:
+                continue
+            buckets = {}
+            for b, n in h["buckets"].items():
+                d = n - old["buckets"].get(b, 0)
+                if d:
+                    buckets[b] = d
+            hists[key] = {
+                "count": count,
+                "sum": h["sum"] - old["sum"],
+                "min": h["min"],
+                "max": h["max"],
+                "buckets": buckets,
+            }
+        return MetricsSnapshot(counters, dict(self.gauges), hists)
+
+    def merge(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
+        """Combine two independent snapshots/diffs (associative)."""
+        counters = dict(self.counters)
+        for key, value in other.counters.items():
+            counters[key] = counters.get(key, 0) + value
+        gauges = dict(self.gauges)
+        for key, value in other.gauges.items():
+            gauges[key] = max(gauges[key], value) if key in gauges else value
+        hists = {
+            k: {**h, "buckets": dict(h["buckets"])}
+            for k, h in self.histograms.items()
+        }
+        for key, h in other.histograms.items():
+            if key not in hists:
+                hists[key] = {**h, "buckets": dict(h["buckets"])}
+                continue
+            mine = hists[key]
+            mine["count"] += h["count"]
+            mine["sum"] += h["sum"]
+            mine["min"] = _opt_min(mine["min"], h["min"])
+            mine["max"] = _opt_max(mine["max"], h["max"])
+            for b, n in h["buckets"].items():
+                mine["buckets"][b] = mine["buckets"].get(b, 0) + n
+        return MetricsSnapshot(counters, gauges, hists)
+
+    def counter(self, name: str, default: float = 0, **labels: Any) -> float:
+        return self.counters.get(metric_key(name, labels), default)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MetricsSnapshot(counters={len(self.counters)}, "
+            f"gauges={len(self.gauges)}, histograms={len(self.histograms)})"
+        )
+
+
+def _opt_min(a, b):
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return min(a, b)
+
+
+def _opt_max(a, b):
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return max(a, b)
+
+
+class MetricsRegistry:
+    """Thread-safe counters/gauges/histograms keyed by flat label strings."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        self._hists: Dict[str, Dict[str, Any]] = {}
+
+    # -- write side ----------------------------------------------------
+    def inc(self, name: str, value: float = 1, **labels: Any) -> None:
+        key = metric_key(name, labels)
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0) + value
+
+    def set_gauge(self, name: str, value: float, **labels: Any) -> None:
+        key = metric_key(name, labels)
+        with self._lock:
+            self._gauges[key] = value
+
+    def max_gauge(self, name: str, value: float, **labels: Any) -> None:
+        """Set a gauge to ``max(current, value)`` (high-water mark)."""
+        key = metric_key(name, labels)
+        with self._lock:
+            current = self._gauges.get(key)
+            if current is None or value > current:
+                self._gauges[key] = value
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        key = metric_key(name, labels)
+        bucket = _bucket(value)
+        with self._lock:
+            h = self._hists.get(key)
+            if h is None:
+                h = {
+                    "count": 0,
+                    "sum": 0.0,
+                    "min": None,
+                    "max": None,
+                    "buckets": {},
+                }
+                self._hists[key] = h
+            h["count"] += 1
+            h["sum"] += value
+            h["min"] = _opt_min(h["min"], value)
+            h["max"] = _opt_max(h["max"], value)
+            h["buckets"][bucket] = h["buckets"].get(bucket, 0) + 1
+
+    # -- read side -----------------------------------------------------
+    def counter_value(self, name: str, default: float = 0, **labels: Any) -> float:
+        return self._counters.get(metric_key(name, labels), default)
+
+    def gauge_value(self, name: str, default: float = 0, **labels: Any) -> float:
+        return self._gauges.get(metric_key(name, labels), default)
+
+    def snapshot(self) -> MetricsSnapshot:
+        with self._lock:
+            return MetricsSnapshot(self._counters, self._gauges, self._hists)
+
+    # -- maintenance ---------------------------------------------------
+    def merge_into(self, diff: "MetricsSnapshot | Mapping[str, Any]") -> None:
+        """Fold a worker diff (snapshot or its ``as_dict``) into this registry."""
+        if not isinstance(diff, MetricsSnapshot):
+            diff = MetricsSnapshot.from_dict(diff)
+        with self._lock:
+            for key, value in diff.counters.items():
+                self._counters[key] = self._counters.get(key, 0) + value
+            for key, value in diff.gauges.items():
+                current = self._gauges.get(key)
+                if current is None or value > current:
+                    self._gauges[key] = value
+            for key, h in diff.histograms.items():
+                mine = self._hists.get(key)
+                if mine is None:
+                    self._hists[key] = {
+                        "count": h["count"],
+                        "sum": h["sum"],
+                        "min": h["min"],
+                        "max": h["max"],
+                        "buckets": dict(h["buckets"]),
+                    }
+                    continue
+                mine["count"] += h["count"]
+                mine["sum"] += h["sum"]
+                mine["min"] = _opt_min(mine["min"], h["min"])
+                mine["max"] = _opt_max(mine["max"], h["max"])
+                for b, n in h["buckets"].items():
+                    mine["buckets"][b] = mine["buckets"].get(b, 0) + n
+
+    def reset(self, names: Optional[Iterable[str]] = None) -> None:
+        """Zero metrics.  ``names`` restricts to exact metric names
+        (label variants included); ``None`` clears everything."""
+        with self._lock:
+            if names is None:
+                self._counters.clear()
+                self._gauges.clear()
+                self._hists.clear()
+                return
+            wanted = tuple(names)
+
+            def _match(key: str) -> bool:
+                base = key.split("{", 1)[0]
+                return base in wanted
+
+            for store in (self._counters, self._gauges, self._hists):
+                for key in [k for k in store if _match(k)]:
+                    del store[key]
+
+
+#: The process-wide default registry.  Campaign workers inherit a copy
+#: under ``fork`` and a fresh one under ``spawn``; either way the
+#: per-batch snapshot *diffs* shipped to the parent are what get
+#: merged, so inherited history never double-counts.
+_REGISTRY = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    return _REGISTRY
+
+
+def inc(name: str, value: float = 1, **labels: Any) -> None:
+    _REGISTRY.inc(name, value, **labels)
+
+
+def set_gauge(name: str, value: float, **labels: Any) -> None:
+    _REGISTRY.set_gauge(name, value, **labels)
+
+
+def max_gauge(name: str, value: float, **labels: Any) -> None:
+    _REGISTRY.max_gauge(name, value, **labels)
+
+
+def observe(name: str, value: float, **labels: Any) -> None:
+    _REGISTRY.observe(name, value, **labels)
+
+
+def counter_value(name: str, default: float = 0, **labels: Any) -> float:
+    return _REGISTRY.counter_value(name, default, **labels)
+
+
+def gauge_value(name: str, default: float = 0, **labels: Any) -> float:
+    return _REGISTRY.gauge_value(name, default, **labels)
+
+
+def snapshot() -> MetricsSnapshot:
+    return _REGISTRY.snapshot()
+
+
+def merge_into(diff: "MetricsSnapshot | Mapping[str, Any]") -> None:
+    _REGISTRY.merge_into(diff)
+
+
+def reset_metrics(names: Optional[Iterable[str]] = None) -> None:
+    _REGISTRY.reset(names)

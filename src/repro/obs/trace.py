@@ -1,0 +1,300 @@
+"""Span tracer: nested wall-clock spans with cross-process propagation.
+
+A *span* is a named interval (``campaign.batch``, ``compile.lower``)
+with monotonic-clock start/duration, process/thread ids, a parent link
+and free-form attributes.  Spans land in a bounded in-memory ring
+buffer (oldest dropped first) and are exported after the run by
+:mod:`repro.obs.export` — no I/O ever happens on the hot path.
+
+Tracing is **off by default** and the disabled path is a single module
+attribute check, so instrumented code (`with trace("batch.simulate")`)
+costs one cheap object construction per call site when disabled.
+Campaign results are bitwise-identical with tracing on or off: spans
+only ever *observe* the clock, never the RNG streams or data path.
+
+Usage::
+
+    from repro.obs import enable_tracing, trace
+
+    tracer = enable_tracing()
+    with trace("campaign.batch", index=3):
+        ...
+    spans = tracer.drain()
+
+``trace(...)`` doubles as a decorator::
+
+    @trace("compile.lower")
+    def lower(...): ...
+
+Cross-process propagation: the parent captures :func:`trace_context`
+and ships it through the pool initializer; workers call
+:func:`adopt_trace_context`, which starts a *fresh* tracer sharing the
+parent's ``trace_id`` and rooting worker spans under the parent's
+active span.  Worker spans ride back to the parent attached to the
+per-batch records (see ``repro.leakage.acquisition``) and are folded
+in with :func:`ingest_spans`.  Timestamps use
+:func:`time.perf_counter_ns` (CLOCK_MONOTONIC), which is comparable
+across processes on the POSIX hosts the campaign runners target — the
+same property the supervisor's heartbeat watchdog already relies on.
+
+The clock is injectable (:func:`enable_tracing` ``clock=``) so tests
+can pin a deterministic fake.
+"""
+
+from __future__ import annotations
+
+import functools
+import itertools
+import os
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = [
+    "DEFAULT_CAPACITY",
+    "Tracer",
+    "adopt_trace_context",
+    "current_span_id",
+    "disable_tracing",
+    "enable_tracing",
+    "get_tracer",
+    "ingest_spans",
+    "trace",
+    "trace_context",
+    "tracing_enabled",
+]
+
+DEFAULT_CAPACITY = 65536
+
+#: Fast-path gate: ``trace(...).__enter__`` checks this one attribute
+#: before touching anything else.
+_ENABLED = False
+_TRACER: Optional["Tracer"] = None
+
+
+class Tracer:
+    """Bounded ring buffer of finished spans plus per-thread open-span stacks."""
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        clock: Optional[Callable[[], int]] = None,
+        trace_id: Optional[str] = None,
+        base_parent: Optional[str] = None,
+    ):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.clock = clock if clock is not None else time.perf_counter_ns
+        self.trace_id = (
+            trace_id
+            if trace_id is not None
+            else f"{os.getpid():x}-{os.urandom(4).hex()}"
+        )
+        #: Parent span id (from another process) that roots this
+        #: tracer's top-level spans; ``None`` for the origin process.
+        self.base_parent = base_parent
+        self._buf: deque = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._ids = itertools.count(1)
+        self._seq = itertools.count(1)
+        self._pid = os.getpid()
+
+    # -- span lifecycle ------------------------------------------------
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def start(self, name: str, attrs: Dict[str, Any]):
+        stack = self._stack()
+        parent = stack[-1] if stack else self.base_parent
+        span_id = f"{self._pid:x}.{next(self._ids)}"
+        stack.append(span_id)
+        return (name, span_id, parent, self.clock(), attrs)
+
+    def finish(self, frame) -> None:
+        t_end = self.clock()
+        name, span_id, parent, t_start, attrs = frame
+        stack = self._stack()
+        if stack and stack[-1] == span_id:
+            stack.pop()
+        elif span_id in stack:  # tolerate mis-nested exits
+            stack.remove(span_id)
+        span = {
+            "name": name,
+            "t_start_ns": t_start,
+            "dur_ns": t_end - t_start,
+            "pid": self._pid,
+            "tid": threading.get_ident(),
+            "span_id": span_id,
+            "parent_id": parent,
+            "trace_id": self.trace_id,
+            "attrs": dict(attrs) if attrs else {},
+        }
+        with self._lock:
+            span["seq"] = next(self._seq)
+            self._buf.append(span)
+
+    def current_span_id(self) -> Optional[str]:
+        stack = self._stack()
+        return stack[-1] if stack else self.base_parent
+
+    # -- reading the buffer --------------------------------------------
+    def mark(self) -> int:
+        """Sequence watermark; pass to :meth:`spans` to get only newer spans."""
+        with self._lock:
+            return self._buf[-1]["seq"] if self._buf else 0
+
+    def spans(self, since: int = 0) -> List[dict]:
+        """Copy of buffered spans with ``seq > since`` (buffer untouched)."""
+        with self._lock:
+            return [dict(s) for s in self._buf if s["seq"] > since]
+
+    def drain(self) -> List[dict]:
+        """Remove and return all buffered spans."""
+        with self._lock:
+            out = [dict(s) for s in self._buf]
+            self._buf.clear()
+        return out
+
+    def ingest(self, spans: List[dict]) -> None:
+        """Append spans recorded by another tracer (e.g. a worker process).
+
+        Foreign spans keep their own ids/pids/timestamps but are
+        re-sequenced locally so :meth:`mark`/:meth:`spans` stay
+        monotone.
+        """
+        with self._lock:
+            for span in spans:
+                span = dict(span)
+                span["seq"] = next(self._seq)
+                self._buf.append(span)
+
+
+class _Span:
+    """Context manager / decorator returned by :func:`trace`."""
+
+    __slots__ = ("name", "attrs", "_frame", "_tracer")
+
+    def __init__(self, name: str, attrs: Dict[str, Any]):
+        self.name = name
+        self.attrs = attrs
+        self._frame = None
+        self._tracer = None
+
+    def __enter__(self) -> "_Span":
+        if _ENABLED:
+            tracer = _TRACER
+            if tracer is not None:
+                self._tracer = tracer
+                self._frame = tracer.start(self.name, self.attrs)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._frame is not None:
+            self._tracer.finish(self._frame)
+            self._frame = None
+            self._tracer = None
+        return False
+
+    def __call__(self, fn: Callable) -> Callable:
+        name, attrs = self.name, self.attrs
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with _Span(name, attrs):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+
+def trace(name: str, **attrs: Any) -> _Span:
+    """Open a span (context manager) or wrap a function (decorator)."""
+    return _Span(name, attrs)
+
+
+# -- global tracer management ------------------------------------------
+def enable_tracing(
+    capacity: int = DEFAULT_CAPACITY,
+    clock: Optional[Callable[[], int]] = None,
+    trace_id: Optional[str] = None,
+    base_parent: Optional[str] = None,
+) -> Tracer:
+    """Install a fresh process-global tracer and turn tracing on."""
+    global _ENABLED, _TRACER
+    _TRACER = Tracer(
+        capacity=capacity, clock=clock, trace_id=trace_id,
+        base_parent=base_parent,
+    )
+    _ENABLED = True
+    return _TRACER
+
+
+def disable_tracing() -> None:
+    """Turn tracing off and drop the global tracer."""
+    global _ENABLED, _TRACER
+    _ENABLED = False
+    _TRACER = None
+
+
+def tracing_enabled() -> bool:
+    return _ENABLED
+
+
+def get_tracer() -> Optional[Tracer]:
+    return _TRACER if _ENABLED else None
+
+
+def current_span_id() -> Optional[str]:
+    tracer = get_tracer()
+    return tracer.current_span_id() if tracer is not None else None
+
+
+def ingest_spans(spans: Optional[List[dict]]) -> None:
+    """Fold worker-recorded spans into the active tracer (no-op if off)."""
+    if not spans:
+        return
+    tracer = get_tracer()
+    if tracer is not None:
+        tracer.ingest(spans)
+
+
+# -- cross-process context ---------------------------------------------
+def trace_context() -> Optional[Dict[str, Any]]:
+    """Serialisable handle a worker can :func:`adopt_trace_context`.
+
+    ``None`` when tracing is off — workers then stay untraced.  The
+    context pins the parent's ``trace_id`` and the span that was
+    active when the pool was created, so worker spans nest under the
+    campaign span in the merged trace.
+    """
+    tracer = get_tracer()
+    if tracer is None:
+        return None
+    return {
+        "trace_id": tracer.trace_id,
+        "parent_id": tracer.current_span_id(),
+        "capacity": tracer.capacity,
+    }
+
+
+def adopt_trace_context(ctx: Optional[Dict[str, Any]]) -> None:
+    """Enable tracing in a worker from a parent's :func:`trace_context`.
+
+    Always starts a *fresh* tracer (a forked child inherits the
+    parent's buffer; re-shipping those spans would duplicate them).
+    ``None`` disables tracing — under ``fork`` the inherited
+    ``_ENABLED`` flag would otherwise keep dead spans accumulating.
+    """
+    if ctx is None:
+        disable_tracing()
+        return
+    enable_tracing(
+        capacity=ctx.get("capacity", DEFAULT_CAPACITY),
+        trace_id=ctx.get("trace_id"),
+        base_parent=ctx.get("parent_id"),
+    )

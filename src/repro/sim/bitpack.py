@@ -66,6 +66,10 @@ import warnings
 
 import numpy as np
 
+from ..obs.log import get_logger
+
+_LOG = get_logger("sim.bitpack")
+
 __all__ = [
     "LANE_BITS",
     "HAVE_BITWISE_COUNT",
@@ -215,15 +219,15 @@ def resolve_pack_traces(
         global _auto_fallback_warned
         if not _auto_fallback_warned:
             _auto_fallback_warned = True
-            warnings.warn(
+            msg = (
                 f"pack_traces='auto': recorder "
                 f"{type(recorder).__name__} has no packed accumulation "
                 "path (coupling partners, transient capture, or no "
                 "accepts_packed) — falling back to the boolean engine "
-                "for this and similar batches",
-                AutoPackFallbackWarning,
-                stacklevel=2,
+                "for this and similar batches"
             )
+            _LOG.info("%s", msg)
+            warnings.warn(msg, AutoPackFallbackWarning, stacklevel=2)
         return False
     if isinstance(pack_traces, (bool, np.bool_)):
         return bool(pack_traces)

@@ -77,6 +77,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs import metrics as obs_metrics
+
 __all__ = [
     "CompiledSchedule",
     "StaleScheduleError",
@@ -307,9 +309,12 @@ class _CircuitCache:
 #: "Process model" in the module docstring).
 _CACHES: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
 
-#: Per-process totals across all circuits.  Campaign workers snapshot
-#: these around each batch to report compile-vs-replay behaviour.
-_COUNTERS = {"hits": 0, "compiles": 0}
+#: Registry metric names for the per-process totals across all
+#: circuits (backed by :mod:`repro.obs.metrics`).  Campaign workers
+#: snapshot these around each batch to report compile-vs-replay
+#: behaviour.
+_METRIC_HITS = "schedule_cache.hits"
+_METRIC_COMPILES = "schedule_cache.compiles"
 
 
 def _structural_token(circuit):
@@ -356,11 +361,11 @@ def lookup_or_compile(
     if pattern in programs:
         programs.move_to_end(pattern)
         cache.hits += 1
-        _COUNTERS["hits"] += 1
+        obs_metrics.inc(_METRIC_HITS)
         return programs[pattern]
     schedule = compile_schedule(circuit, comb_fanout, pattern)
     cache.compiles += 1
-    _COUNTERS["compiles"] += 1
+    obs_metrics.inc(_METRIC_COMPILES)
     programs[pattern] = schedule
     if len(programs) > _CACHE_CAPACITY:
         programs.popitem(last=False)
@@ -416,8 +421,17 @@ def schedule_cache_counters() -> Dict[str, int]:
     deltas travel back with the shard, so
     :class:`repro.leakage.stats.CampaignStats` can prove that workers
     replayed warm schedules instead of recompiling them.
+
+    Backed by the :mod:`repro.obs.metrics` registry (metric names
+    ``schedule_cache.hits`` / ``schedule_cache.compiles``); this
+    function is a stable re-export.  Campaign warm-ups re-attribute
+    their lookups to ``schedule_cache.warmup_*`` so the batch-time
+    counters reconcile exactly with ``CampaignStats``.
     """
-    return dict(_COUNTERS)
+    return {
+        "hits": int(obs_metrics.counter_value(_METRIC_HITS)),
+        "compiles": int(obs_metrics.counter_value(_METRIC_COMPILES)),
+    }
 
 
 # ----------------------------------------------------------------------

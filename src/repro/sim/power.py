@@ -32,7 +32,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs import metrics as obs_metrics
+from ..obs.log import get_logger
+from ..obs.trace import trace
 from .bitpack import COUNTER_EXACT_BITS, counter_add, counter_unpack
+
+_LOG = get_logger("sim.power")
 
 __all__ = [
     "CouplingModel",
@@ -63,26 +68,44 @@ class PackedAccumulatorOverflowWarning(RuntimeWarning):
     exact-integer -> float32 conversion) instead of drifting."""
 
 
-#: Process-wide telemetry for the packed accumulation path, surfaced by
-#: the throughput bench (schema v4).  Monotonic; snapshot with
+#: Registry metric names for the process-wide packed-accumulation
+#: telemetry (backed by :mod:`repro.obs.metrics`), surfaced by the
+#: throughput bench.  ``max_planes`` is a high-water gauge; the rest
+#: are monotone counters — snapshot with
 #: :func:`packed_accumulator_counters` and diff around a region.
-_PACKED_COUNTERS = {
-    "accumulators": 0,  # PackedToggleAccumulator instances created
-    "flushes": 0,       # end-of-batch counter-plane unpacks
-    "max_planes": 0,    # deepest per-bin counter seen (bits of count)
-    "overflow_bins": 0, # bins that crossed the 2^24 exactness bound
-}
+_M_ACCUMULATORS = "packed_accumulator.accumulators"
+_M_FLUSHES = "packed_accumulator.flushes"
+_M_MAX_PLANES = "packed_accumulator.max_planes"
+_M_OVERFLOW_BINS = "packed_accumulator.overflow_bins"
+_M_CLAMPED = "power.clamped_events"
+_PACKED_METRIC_NAMES = (
+    _M_ACCUMULATORS,
+    _M_FLUSHES,
+    _M_MAX_PLANES,
+    _M_OVERFLOW_BINS,
+)
 
 
 def packed_accumulator_counters() -> Dict[str, int]:
-    """Snapshot of the process-wide packed-accumulation counters."""
-    return dict(_PACKED_COUNTERS)
+    """Snapshot of the process-wide packed-accumulation counters.
+
+    A stable re-export of the :mod:`repro.obs.metrics` registry
+    entries (``packed_accumulator.*``): ``accumulators`` instances
+    created, ``flushes`` end-of-batch counter-plane unpacks,
+    ``max_planes`` deepest per-bin counter seen and ``overflow_bins``
+    that crossed the 2^24 exactness bound.
+    """
+    return {
+        "accumulators": int(obs_metrics.counter_value(_M_ACCUMULATORS)),
+        "flushes": int(obs_metrics.counter_value(_M_FLUSHES)),
+        "max_planes": int(obs_metrics.gauge_value(_M_MAX_PLANES)),
+        "overflow_bins": int(obs_metrics.counter_value(_M_OVERFLOW_BINS)),
+    }
 
 
 def reset_packed_accumulator_counters() -> None:
     """Zero the packed-accumulation counters (tests / bench prep)."""
-    for key in _PACKED_COUNTERS:
-        _PACKED_COUNTERS[key] = 0
+    obs_metrics.reset_metrics(_PACKED_METRIC_NAMES)
 
 
 @dataclass
@@ -222,16 +245,17 @@ class PowerRecorder:
 
     def _note_clamped(self, t_ps, count: int = 1) -> None:
         self.stats["clamped_events"] += count
+        obs_metrics.inc(_M_CLAMPED, count)
         if not self._clamp_warned:
             self._clamp_warned = True
-            warnings.warn(
+            msg = (
                 f"transition at t={t_ps} ps falls past the recorder "
                 f"window ({self.n_bins * self.bin_ps} ps); clamping "
                 "into the last bin (all such events are counted in "
-                "stats['clamped_events'])",
-                ClampedEventWarning,
-                stacklevel=4,
+                "stats['clamped_events'])"
             )
+            _LOG.warning("%s", msg)
+            warnings.warn(msg, ClampedEventWarning, stacklevel=4)
 
     def _weight(self, wire: int) -> float:
         if self._weights is None:
@@ -337,7 +361,7 @@ class PackedToggleAccumulator:
         self._bins: Dict[int, List[int]] = {}
         # wire -> set-bit positions of its integer weight
         self._shifts: Dict[int, Tuple[int, ...]] = {}
-        _PACKED_COUNTERS["accumulators"] += 1
+        obs_metrics.inc(_M_ACCUMULATORS)
 
     def _wire_shifts(self, wire: int) -> Tuple[int, ...]:
         shifts = self._shifts.get(wire)
@@ -383,36 +407,42 @@ class PackedToggleAccumulator:
         power matrix and clear the planes.  Idempotent."""
         if not self._bins:
             return
-        rec = self.recorder
-        power = rec._power
-        n = rec.n_traces
-        _PACKED_COUNTERS["flushes"] += 1
-        for b, planes in self._bins.items():
-            depth = len(planes)
-            if depth > _PACKED_COUNTERS["max_planes"]:
-                _PACKED_COUNTERS["max_planes"] = depth
-            if depth > rec.stats["max_counter_planes"]:
-                rec.stats["max_counter_planes"] = depth
-            counts = counter_unpack(planes, self.lanes, n)
-            if depth > COUNTER_EXACT_BITS and int(counts.max(initial=0)) >= (
-                1 << COUNTER_EXACT_BITS
-            ):
-                _PACKED_COUNTERS["overflow_bins"] += 1
-                rec.stats["overflow_bins"] += 1
-                warnings.warn(
-                    f"packed counter for bin {b} reached "
-                    f"{int(counts.max())} >= 2^{COUNTER_EXACT_BITS}: "
-                    "beyond the float32 exactness bound.  The flushed "
-                    "value is correctly rounded (single int->float32 "
-                    "conversion) but may differ bitwise from the "
-                    "boolean engine's sequential accumulation",
-                    PackedAccumulatorOverflowWarning,
-                    stacklevel=3,
-                )
-            # int64 -> float32 is a single correct rounding; below the
-            # exactness bound it is the exact integer either way.
-            power[:, b] += counts.astype(np.float32)
-        self._bins.clear()
+        with trace("power.flush", bins=len(self._bins)):
+            rec = self.recorder
+            power = rec._power
+            n = rec.n_traces
+            obs_metrics.inc(_M_FLUSHES)
+            max_depth = 0
+            for b, planes in self._bins.items():
+                depth = len(planes)
+                if depth > max_depth:
+                    max_depth = depth
+                if depth > rec.stats["max_counter_planes"]:
+                    rec.stats["max_counter_planes"] = depth
+                counts = counter_unpack(planes, self.lanes, n)
+                if depth > COUNTER_EXACT_BITS and int(
+                    counts.max(initial=0)
+                ) >= (1 << COUNTER_EXACT_BITS):
+                    obs_metrics.inc(_M_OVERFLOW_BINS)
+                    rec.stats["overflow_bins"] += 1
+                    msg = (
+                        f"packed counter for bin {b} reached "
+                        f"{int(counts.max())} >= 2^{COUNTER_EXACT_BITS}: "
+                        "beyond the float32 exactness bound.  The flushed "
+                        "value is correctly rounded (single int->float32 "
+                        "conversion) but may differ bitwise from the "
+                        "boolean engine's sequential accumulation"
+                    )
+                    _LOG.warning("%s", msg)
+                    warnings.warn(
+                        msg, PackedAccumulatorOverflowWarning, stacklevel=3
+                    )
+                # int64 -> float32 is a single correct rounding; below the
+                # exactness bound it is the exact integer either way.
+                power[:, b] += counts.astype(np.float32)
+            if max_depth:
+                obs_metrics.max_gauge(_M_MAX_PLANES, max_depth)
+            self._bins.clear()
 
 
 class TransientRecorder:

@@ -61,6 +61,7 @@ from .bitpack import (
     resolve_pack_traces,
     unpack_bool,
 )
+from ..obs.trace import trace
 from .compiled import lookup_or_compile, replay
 from .power import PowerRecorder, default_weights
 
@@ -263,16 +264,17 @@ class VectorSimulator:
                 tuple((t, wire) for t, wire, _ in events),
             )
             if program is not None:
-                last_t, n_evals = replay(
-                    program,
-                    self.values,
-                    [vals for _, _, vals in events],
-                    recorder,
-                    t_offset,
-                    max_events,
-                    self.circuit,
-                    n_traces=self.n_traces if self.packed else None,
-                )
+                with trace("sim.replay", n_events=len(events)):
+                    last_t, n_evals = replay(
+                        program,
+                        self.values,
+                        [vals for _, _, vals in events],
+                        recorder,
+                        t_offset,
+                        max_events,
+                        self.circuit,
+                        n_traces=self.n_traces if self.packed else None,
+                    )
                 self.events_processed += n_evals
                 return last_t
 

@@ -1,0 +1,437 @@
+"""Unit tests for repro.obs: tracer, metrics algebra, exporters, logging.
+
+Everything here is single-process and uses an injectable fake clock
+where determinism matters; cross-process propagation and the traced
+campaign contract live in tests/test_obs_integration.py.
+"""
+
+import json
+import logging
+
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.obs.export import (
+    CHROME_SCHEMA,
+    from_chrome,
+    read_jsonl,
+    sort_spans,
+    to_chrome,
+    write_chrome,
+    write_jsonl,
+)
+from repro.obs.log import get_logger
+from repro.obs.metrics import MetricsRegistry, MetricsSnapshot, metric_key
+from repro.obs.summary import (
+    PHASE_NAMES,
+    aggregate_spans,
+    coverage,
+    phase_stats,
+    render_summary,
+    summary_rows,
+)
+from repro.obs.trace import (
+    Tracer,
+    adopt_trace_context,
+    current_span_id,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    ingest_spans,
+    trace,
+    trace_context,
+    tracing_enabled,
+)
+
+
+@pytest.fixture(autouse=True)
+def _tracing_off():
+    """Every test starts and ends with tracing disabled."""
+    disable_tracing()
+    yield
+    disable_tracing()
+
+
+class FakeClock:
+    """Monotonic fake: every call advances by ``step`` nanoseconds."""
+
+    def __init__(self, start=1_000, step=10):
+        self.now = start
+        self.step = step
+
+    def __call__(self):
+        t = self.now
+        self.now += self.step
+        return t
+
+
+# ----------------------------------------------------------------------
+# span tracer
+# ----------------------------------------------------------------------
+def test_disabled_tracing_records_nothing():
+    assert not tracing_enabled()
+    assert get_tracer() is None
+    with trace("never.recorded", x=1):
+        pass
+    assert current_span_id() is None
+
+
+def test_span_nesting_parent_links_and_durations():
+    tracer = enable_tracing(clock=FakeClock())
+    with trace("outer", kind="test"):
+        with trace("inner"):
+            pass
+    spans = tracer.drain()
+    assert [s["name"] for s in spans] == ["inner", "outer"]
+    inner, outer = spans
+    assert outer["parent_id"] is None
+    assert inner["parent_id"] == outer["span_id"]
+    assert inner["trace_id"] == outer["trace_id"] == tracer.trace_id
+    # clock calls: outer.start=1000, inner.start=1010, inner.end=1020,
+    # outer.end=1030
+    assert inner["t_start_ns"] == 1010 and inner["dur_ns"] == 10
+    assert outer["t_start_ns"] == 1000 and outer["dur_ns"] == 30
+    assert inner["attrs"] == {}
+    assert outer["attrs"] == {"kind": "test"}
+
+
+def test_trace_as_decorator():
+    tracer = enable_tracing(clock=FakeClock())
+
+    @trace("fn.decorated", tag="d")
+    def work(a, b):
+        return a + b
+
+    assert work(2, 3) == 5
+    assert work(1, 1) == 2
+    spans = tracer.drain()
+    assert [s["name"] for s in spans] == ["fn.decorated"] * 2
+    assert all(s["attrs"] == {"tag": "d"} for s in spans)
+
+
+def test_ring_buffer_drops_oldest():
+    tracer = enable_tracing(capacity=4, clock=FakeClock())
+    for i in range(10):
+        with trace(f"span.{i}"):
+            pass
+    spans = tracer.drain()
+    assert [s["name"] for s in spans] == [
+        "span.6", "span.7", "span.8", "span.9"
+    ]
+    assert tracer.drain() == []
+
+
+def test_mark_and_spans_since_watermark():
+    tracer = enable_tracing(clock=FakeClock())
+    with trace("before"):
+        pass
+    mark = tracer.mark()
+    with trace("after"):
+        pass
+    newer = tracer.spans(since=mark)
+    assert [s["name"] for s in newer] == ["after"]
+    # spans() copies, the buffer keeps everything
+    assert len(tracer.drain()) == 2
+
+
+def test_ingest_resequences_foreign_spans():
+    tracer = enable_tracing(clock=FakeClock())
+    with trace("local"):
+        pass
+    mark = tracer.mark()
+    foreign = [
+        {
+            "name": "worker.batch",
+            "t_start_ns": 5,
+            "dur_ns": 7,
+            "pid": 99999,
+            "tid": 1,
+            "span_id": "1869f.1",
+            "parent_id": None,
+            "trace_id": tracer.trace_id,
+            "attrs": {},
+            "seq": 123456,
+        }
+    ]
+    ingest_spans(foreign)
+    newer = tracer.spans(since=mark)
+    assert [s["name"] for s in newer] == ["worker.batch"]
+    assert newer[0]["pid"] == 99999  # identity preserved, seq local
+
+
+def test_manual_enter_exit_and_exception_exit():
+    tracer = enable_tracing(clock=FakeClock())
+    span = trace("manual")
+    span.__enter__()
+    span.__exit__(None, None, None)
+    with pytest.raises(RuntimeError):
+        with trace("raises"):
+            raise RuntimeError("boom")
+    spans = tracer.drain()
+    assert [s["name"] for s in spans] == ["manual", "raises"]
+    assert all(s["dur_ns"] >= 0 for s in spans)
+
+
+def test_adopt_trace_context_roots_under_parent():
+    enable_tracing(clock=FakeClock())
+    outer = trace("campaign.run")
+    outer.__enter__()
+    ctx = trace_context()
+    assert ctx is not None and ctx["parent_id"] == current_span_id()
+
+    # Simulate the worker side: fresh tracer sharing the trace id,
+    # top-level spans rooted under the shipped parent span.
+    adopt_trace_context(ctx)
+    worker = get_tracer()
+    with trace("campaign.batch"):
+        pass
+    spans = worker.drain()
+    assert spans[0]["parent_id"] == ctx["parent_id"]
+    assert spans[0]["trace_id"] == ctx["trace_id"]
+
+    adopt_trace_context(None)
+    assert not tracing_enabled()
+
+
+def test_tracer_capacity_validation():
+    with pytest.raises(ValueError):
+        Tracer(capacity=0)
+
+
+# ----------------------------------------------------------------------
+# metrics registry
+# ----------------------------------------------------------------------
+def test_metric_key_sorts_labels():
+    assert metric_key("x", {}) == "x"
+    assert metric_key("x", {"b": 2, "a": 1}) == "x{a=1,b=2}"
+
+
+def test_registry_counters_gauges_histograms():
+    reg = MetricsRegistry()
+    reg.inc("hits")
+    reg.inc("hits", 4)
+    reg.inc("bytes", 100, transport="pickle")
+    reg.set_gauge("depth", 3)
+    reg.max_gauge("depth", 9)
+    reg.max_gauge("depth", 5)  # high-water mark keeps 9
+    reg.observe("batch_s", 0.002)
+    reg.observe("batch_s", 0.2)
+    snap = reg.snapshot()
+    assert snap.counter("hits") == 5
+    assert snap.counter("bytes", transport="pickle") == 100
+    assert snap.gauges["depth"] == 9
+    h = snap.histograms["batch_s"]
+    assert h["count"] == 2
+    assert h["min"] == 0.002 and h["max"] == 0.2
+    assert len(h["buckets"]) == 2  # 2ms and 200ms land in distinct buckets
+
+
+def test_snapshot_diff_is_delta_only():
+    reg = MetricsRegistry()
+    reg.inc("a", 3)
+    reg.observe("h", 1.0)
+    older = reg.snapshot()
+    reg.inc("a", 2)
+    reg.inc("b", 7)
+    reg.observe("h", 4.0)
+    delta = reg.snapshot().diff(older)
+    assert delta.counters == {"a": 2, "b": 7}
+    assert delta.histograms["h"]["count"] == 1
+    assert delta.histograms["h"]["sum"] == 4.0
+    # unchanged metrics do not appear in the diff
+    reg2 = MetricsRegistry()
+    reg2.inc("x")
+    s = reg2.snapshot()
+    assert s.diff(s).counters == {}
+
+
+def test_snapshot_merge_is_associative():
+    def snap(counters, gauge, obs_values):
+        reg = MetricsRegistry()
+        for name, v in counters.items():
+            reg.inc(name, v)
+        reg.set_gauge("g", gauge)
+        for v in obs_values:
+            reg.observe("h", v)
+        return reg.snapshot()
+
+    a = snap({"n": 1, "m": 10}, 2, [1.0, 8.0])
+    b = snap({"n": 5}, 7, [0.5])
+    c = snap({"m": 3, "k": 1}, 4, [64.0, 2.0])
+
+    left = a.merge(b).merge(c).as_dict()
+    right = a.merge(b.merge(c)).as_dict()
+    assert left == right
+    assert left["counters"] == {"n": 6, "m": 13, "k": 1}
+    assert left["gauges"]["g"] == 7  # gauges merge by max
+    assert left["histograms"]["h"]["count"] == 5
+    assert left["histograms"]["h"]["min"] == 0.5
+    assert left["histograms"]["h"]["max"] == 64.0
+
+
+def test_snapshot_dict_round_trip():
+    reg = MetricsRegistry()
+    reg.inc("a", 2, lane=3)
+    reg.set_gauge("g", 1.5)
+    reg.observe("h", 3.0)
+    snap = reg.snapshot()
+    again = MetricsSnapshot.from_dict(
+        json.loads(json.dumps(snap.as_dict()))
+    )
+    assert again.as_dict() == snap.as_dict()
+
+
+def test_merge_into_folds_worker_diff():
+    parent = MetricsRegistry()
+    parent.inc("n", 1)
+    worker = MetricsRegistry()
+    worker.inc("n", 4)
+    worker.observe("h", 2.0)
+    parent.merge_into(worker.snapshot())
+    snap = parent.snapshot()
+    assert snap.counter("n") == 5
+    assert snap.histograms["h"]["count"] == 1
+
+
+def test_reset_metrics_by_name_spares_others():
+    reg = MetricsRegistry()
+    reg.inc("keep.me")
+    reg.inc("drop.me")
+    reg.inc("drop.me", 2, lane=1)  # label variants go too
+    reg.reset(["drop.me"])
+    snap = reg.snapshot()
+    assert snap.counter("keep.me") == 1
+    assert all(not k.startswith("drop.me") for k in snap.counters)
+
+
+def test_module_level_registry_helpers():
+    obs_metrics.reset_metrics(["test.helper"])
+    obs_metrics.inc("test.helper", 3)
+    assert obs_metrics.counter_value("test.helper") == 3
+    obs_metrics.reset_metrics(["test.helper"])
+    assert obs_metrics.counter_value("test.helper") == 0
+
+
+# ----------------------------------------------------------------------
+# export round trips (deterministic under the fake clock)
+# ----------------------------------------------------------------------
+def _fixed_spans():
+    tracer = enable_tracing(clock=FakeClock(start=5_000, step=25))
+    with trace("campaign.run", label="rt"):
+        with trace("campaign.batch", index=0):
+            pass
+        with trace("campaign.merge"):
+            pass
+    spans = tracer.drain()
+    disable_tracing()
+    return spans
+
+
+def test_jsonl_round_trip(tmp_path):
+    spans = _fixed_spans()
+    path = tmp_path / "trace.jsonl"
+    n = write_jsonl(spans, path)
+    assert n == 3
+    assert sort_spans(read_jsonl(path)) == sort_spans(spans)
+
+
+def test_jsonl_write_is_deterministic(tmp_path):
+    spans = _fixed_spans()
+    p1, p2 = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+    write_jsonl(spans, p1)
+    write_jsonl(list(reversed(spans)), p2)  # input order irrelevant
+    assert p1.read_bytes() == p2.read_bytes()
+
+
+def test_chrome_round_trip_is_lossless():
+    spans = _fixed_spans()
+    payload = to_chrome(spans)
+    assert payload["otherData"]["schema"] == CHROME_SCHEMA
+    assert len(payload["traceEvents"]) == len(spans)
+    assert all(e["ph"] == "X" for e in payload["traceEvents"])
+    # ...including exact nanosecond timing, through the µs event fields
+    assert sort_spans(from_chrome(payload)) == sort_spans(spans)
+
+
+def test_chrome_file_is_valid_json(tmp_path):
+    spans = _fixed_spans()
+    path = tmp_path / "trace.json"
+    write_chrome(spans, path)
+    payload = json.loads(path.read_text())
+    assert payload["otherData"]["schema"] == CHROME_SCHEMA
+    assert sort_spans(from_chrome(payload)) == sort_spans(spans)
+
+
+def test_jsonl_chrome_jsonl_round_trip_deterministic(tmp_path):
+    spans = _fixed_spans()
+    first = tmp_path / "first.jsonl"
+    second = tmp_path / "second.jsonl"
+    write_jsonl(spans, first)
+    via_chrome = from_chrome(to_chrome(read_jsonl(first)))
+    write_jsonl(via_chrome, second)
+    assert first.read_bytes() == second.read_bytes()
+
+
+# ----------------------------------------------------------------------
+# summary / phases / coverage
+# ----------------------------------------------------------------------
+def test_aggregate_spans_self_time_excludes_children():
+    spans = _fixed_spans()
+    agg = aggregate_spans(spans)
+    run = agg["campaign.run"]
+    # run duration covers both children plus its own bookkeeping
+    child_total = (
+        agg["campaign.batch"]["total_ns"] + agg["campaign.merge"]["total_ns"]
+    )
+    assert run["self_ns"] == run["total_ns"] - child_total
+    rows = summary_rows(spans)
+    assert rows[0]["self_ns"] >= rows[-1]["self_ns"]
+    table = render_summary(spans, top=2)
+    assert "span" in table and "self ms" in table
+
+
+def test_phase_stats_uses_display_labels():
+    tracer = enable_tracing(clock=FakeClock())
+    with trace("batch.simulate"):
+        pass
+    with trace("batch.simulate"):
+        pass
+    with trace("campaign.merge"):
+        pass
+    with trace("not.a.phase"):
+        pass
+    phases = phase_stats(tracer.drain())
+    assert set(phases) == {"simulate", "merge"}
+    assert phases["simulate"]["count"] == 2
+    assert set(PHASE_NAMES.values()) >= set(phases)
+
+
+def test_coverage_of_root_span():
+    spans = _fixed_spans()
+    cov = coverage(spans, root_name="campaign.run")
+    assert 0.0 < cov <= 1.0
+    assert coverage(spans, root_name="missing.root") == 0.0
+
+
+# ----------------------------------------------------------------------
+# logging
+# ----------------------------------------------------------------------
+def test_get_logger_hierarchy_and_null_handler():
+    root = get_logger()
+    child = get_logger("leakage.resilient")
+    assert root.name == "repro"
+    assert child.name == "repro.leakage.resilient"
+    null_handlers = [
+        h for h in root.handlers if isinstance(h, logging.NullHandler)
+    ]
+    get_logger("sim.power")  # repeated calls must not stack handlers
+    assert len(
+        [h for h in root.handlers if isinstance(h, logging.NullHandler)]
+    ) == len(null_handlers) == 1
+
+
+def test_logger_records_capturable(caplog):
+    log = get_logger("test.obs")
+    with caplog.at_level(logging.INFO, logger="repro"):
+        log.info("campaign %s done", "x")
+    assert any("campaign x done" in r.message for r in caplog.records)
